@@ -1,0 +1,115 @@
+// Shared infrastructure for the table/figure harnesses: repeated runs with
+// median timing (the evaluation container is noisy), oracle p-search, and
+// uniform headers. Every bench binary runs argument-less; scale/threads/
+// repetitions come from ATM_SCALE, ATM_THREADS and ATM_REPS.
+#pragma once
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/app_registry.hpp"
+#include "common/env.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace atm::bench {
+
+using apps::App;
+using apps::Preset;
+using apps::RunConfig;
+using apps::RunResult;
+
+[[nodiscard]] inline unsigned default_threads() {
+  return static_cast<unsigned>(env_long("ATM_THREADS", 2));
+}
+
+[[nodiscard]] inline int default_reps() {
+  return static_cast<int>(env_long("ATM_REPS", 3));
+}
+
+/// Run `app` under `config` `reps` times; returns the run whose wall time is
+/// the median (ATM state is rebuilt per run, so any repetition is a faithful
+/// sample).
+[[nodiscard]] inline RunResult run_median(const App& app, const RunConfig& config,
+                                          int reps) {
+  std::vector<RunResult> runs;
+  runs.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) runs.push_back(app.run(config));
+  std::sort(runs.begin(), runs.end(), [](const RunResult& a, const RunResult& b) {
+    return a.wall_seconds < b.wall_seconds;
+  });
+  return std::move(runs[runs.size() / 2]);
+}
+
+/// The 16 p configurations of Dynamic ATM: 2^-15 .. 2^0 (§III-D).
+[[nodiscard]] inline std::vector<double> p_steps() {
+  std::vector<double> steps;
+  for (int e = 15; e >= 0; --e) steps.push_back(1.0 / static_cast<double>(1 << e));
+  return steps;
+}
+
+/// One point of an oracle p-sweep.
+struct SweepPoint {
+  double p = 1.0;
+  double correctness = 0.0;  ///< percent
+  double wall_seconds = 0.0;
+  double reuse = 0.0;        ///< fraction
+};
+
+/// Sweep FixedP over every p step, measuring correctness against the given
+/// reference run (the paper's offline Oracle profiling).
+[[nodiscard]] inline std::vector<SweepPoint> oracle_sweep(const App& app,
+                                                          const RunResult& reference,
+                                                          const RunConfig& base) {
+  std::vector<SweepPoint> points;
+  for (double p : p_steps()) {
+    RunConfig config = base;
+    config.mode = AtmMode::FixedP;
+    config.fixed_p = p;
+    const RunResult run = app.run(config);
+    SweepPoint point;
+    point.p = p;
+    point.correctness = correctness_percent(app.program_error(reference, run));
+    point.wall_seconds = run.wall_seconds;
+    point.reuse = run.reuse_fraction();
+    points.push_back(point);
+  }
+  return points;
+}
+
+/// The paper's Oracle(x%): the smallest p whose sweep correctness is at
+/// least `min_correctness` percent; falls back to p = 1.
+[[nodiscard]] inline double oracle_best_p(const std::vector<SweepPoint>& sweep,
+                                          double min_correctness) {
+  for (const SweepPoint& point : sweep) {
+    if (point.correctness >= min_correctness) return point.p;
+  }
+  return 1.0;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n================================================================\n"
+            << title << "\n"
+            << paper_ref << "\n"
+            << "preset=" << (apps::preset_from_env() == Preset::Paper
+                                 ? "paper"
+                                 : (apps::preset_from_env() == Preset::Test ? "test"
+                                                                            : "bench"))
+            << " threads=" << default_threads() << " reps=" << default_reps()
+            << "  (override via ATM_SCALE / ATM_THREADS / ATM_REPS)\n"
+            << "================================================================\n";
+}
+
+/// Format p as the paper's axis labels (2^-k or %).
+[[nodiscard]] inline std::string fmt_p(double p) {
+  for (int e = 0; e <= 15; ++e) {
+    if (p == 1.0 / static_cast<double>(1 << e)) {
+      return e == 0 ? std::string("100%") : ("2^-" + std::to_string(e));
+    }
+  }
+  return fmt_percent(p, 4);
+}
+
+}  // namespace atm::bench

@@ -1,0 +1,136 @@
+// Regenerates Figure 8: Blackscholes executed with and without Dynamic ATM,
+// with the number of ready tasks over time. The paper's finding: with ATM,
+// workers finish (memoize) tasks faster than the master can create them, so
+// the ready queue drains to ~empty — task-creation throughput becomes the
+// bottleneck.
+#include "bench_common.hpp"
+
+namespace {
+
+/// Time-weighted depth profile: the queue depth is a step function of the
+/// (t, depth) samples; integrate it per window. Robust to sampling gaps
+/// (e.g. scheduler stalls) — depth carries forward between samples.
+/// Returns the overall time-weighted mean depth.
+double print_depth_profile(const std::vector<atm::rt::DepthSample>& samples,
+                           std::uint64_t t0, std::uint64_t t1, std::size_t buckets) {
+  using namespace atm;
+  if (samples.empty() || t1 <= t0) {
+    std::cout << "  (no samples)\n";
+    return 0.0;
+  }
+  std::vector<double> area(buckets, 0.0);  // integral of depth over time
+  const double span = static_cast<double>(t1 - t0);
+  const double window = span / static_cast<double>(buckets);
+
+  double current_depth = 0.0;
+  std::uint64_t current_t = t0;
+  double total_area = 0.0;
+  auto advance_to = [&](std::uint64_t t) {
+    while (current_t < t) {
+      const auto b = std::min(buckets - 1,
+                              static_cast<std::size_t>(
+                                  static_cast<double>(current_t - t0) / window));
+      const std::uint64_t window_end =
+          t0 + static_cast<std::uint64_t>(window * static_cast<double>(b + 1));
+      const std::uint64_t seg_end = std::min<std::uint64_t>(t, std::max(window_end, current_t + 1));
+      area[b] += current_depth * static_cast<double>(seg_end - current_t);
+      total_area += current_depth * static_cast<double>(seg_end - current_t);
+      current_t = seg_end;
+    }
+  };
+  for (const auto& s : samples) {
+    if (s.t < t0) continue;
+    advance_to(std::min(s.t, t1));
+    current_depth = s.depth;
+  }
+  advance_to(t1);
+
+  double peak = 1.0;
+  std::vector<double> mean(buckets);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    mean[b] = area[b] / window;
+    peak = std::max(peak, mean[b]);
+  }
+  for (std::size_t b = 0; b < buckets; ++b) {
+    std::cout << "  t=" << fmt_double(static_cast<double>(b) /
+                                          static_cast<double>(buckets) * 100.0,
+                                      0)
+              << "%\t|" << ascii_bar(mean[b], peak, 50) << "| " << fmt_double(mean[b], 1)
+              << " ready\n";
+  }
+  return total_area / span;
+}
+
+}  // namespace
+
+int main() {
+  using namespace atm;
+  using namespace atm::bench;
+  using rt::TraceState;
+
+  print_header("Figure 8: BLACKSCHOLES TRACE AND READY-TASK COUNT (with/without ATM)",
+               "Paper: Brumar et al., IPDPS'17, Fig. 8 — with ATM the RQ drains: "
+               "creation throughput limits");
+
+  const auto preset = apps::preset_from_env();
+  const auto app = apps::make_app("blackscholes", preset);
+  const unsigned threads = default_threads();
+
+  double mean_depth[2] = {0, 0};
+  const char* labels[2] = {"WITHOUT ATM", "WITH Dynamic ATM"};
+  for (int i = 0; i < 2; ++i) {
+    RunConfig config{.threads = threads,
+                     .mode = i == 0 ? AtmMode::Off : AtmMode::Dynamic};
+    config.tracing = true;
+    const RunResult run = app->run(config);
+
+    std::uint64_t t0 = UINT64_MAX, t1 = 0;
+    for (const auto& s : run.depth_samples) {
+      t0 = std::min(t0, s.t);
+      t1 = std::max(t1, s.t);
+    }
+    std::cout << "\n--- " << labels[i] << " --- (wall "
+              << fmt_double(run.wall_seconds * 1e3, 1) << " ms, reuse "
+              << fmt_percent(run.reuse_fraction()) << ")\n";
+    std::cout << "Ready-queue depth over time (time-weighted mean per 5% window):\n";
+    mean_depth[i] = print_depth_profile(run.depth_samples, t0, t1, 20);
+
+    rt::LaneSummary all;
+    for (const auto& lane : run.lane_summaries) {
+      for (std::size_t k = 0; k < rt::kTraceStateCount; ++k) {
+        all.total_ns[k] += lane.total_ns[k];
+        all.event_count[k] += lane.event_count[k];
+      }
+    }
+    std::cout << "State totals: exec "
+              << fmt_double(static_cast<double>(
+                                all.total_ns[static_cast<int>(TraceState::TaskExec)]) *
+                                1e-6,
+                            1)
+              << " ms, creation "
+              << fmt_double(static_cast<double>(
+                                all.total_ns[static_cast<int>(TraceState::Creation)]) *
+                                1e-6,
+                            1)
+              << " ms, hash+memoize "
+              << fmt_double(static_cast<double>(
+                                all.total_ns[static_cast<int>(TraceState::HashKey)] +
+                                all.total_ns[static_cast<int>(TraceState::Memoize)]) *
+                                1e-6,
+                            1)
+              << " ms, idle "
+              << fmt_double(static_cast<double>(
+                                all.total_ns[static_cast<int>(TraceState::Idle)]) *
+                                1e-6,
+                            1)
+              << " ms\n";
+    std::cout << "Timeline (.idle X exec h hash m memoize c create):\n"
+              << run.ascii_timeline;
+  }
+
+  std::cout << "\nMean ready-queue depth: without ATM " << fmt_double(mean_depth[0], 1)
+            << " vs with ATM " << fmt_double(mean_depth[1], 1)
+            << "\nPaper shape to check: the ATM run's queue stays near empty —\n"
+               "memoized tasks retire as fast as the master creates them.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Regenerates Table II: the Dynamic-ATM parameters (L_training, tau_max)
+// per benchmark, at paper scale and at the current preset, plus the
+// training-budget sanity check the paper reports ("training with <= 5% of
+// the total tasks"; average 1.48%).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace atm;
+  using namespace atm::bench;
+
+  print_header("Table II: DYNAMIC ATM PARAMETERS",
+               "Paper: Brumar et al., IPDPS'17, Table II");
+
+  TablePrinter table({"Benchmark", "L_training (paper)", "tau_max (paper)",
+                      "L_training (this preset)", "tau_max (this preset)",
+                      "tasks (this preset)", "L/tasks"});
+
+  const auto preset = apps::preset_from_env();
+  auto paper_apps = apps::make_all_apps(apps::Preset::Paper);
+  auto preset_apps = apps::make_all_apps(preset);
+
+  double ratio_sum = 0.0;
+  for (std::size_t i = 0; i < preset_apps.size(); ++i) {
+    const auto paper_params = paper_apps[i]->atm_params();
+    const auto params = preset_apps[i]->atm_params();
+    const RunResult run =
+        preset_apps[i]->run({.threads = default_threads(), .mode = AtmMode::Off});
+    const double ratio = static_cast<double>(params.l_training) /
+                         static_cast<double>(run.counters.submitted);
+    ratio_sum += ratio;
+    table.add_row({preset_apps[i]->name(), std::to_string(paper_params.l_training),
+                   fmt_percent(paper_params.tau_max, 0),
+                   std::to_string(params.l_training), fmt_percent(params.tau_max, 0),
+                   std::to_string(run.counters.submitted), fmt_percent(ratio, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nAverage L/tasks = "
+            << fmt_percent(ratio_sum / static_cast<double>(preset_apps.size()), 2)
+            << "  (paper: average 1.48%, upper bound ~5%)\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Kmeans clustering with approximate task reuse — the paper's machine-
+// learning scenario and the cleanest demonstration of *approximate*
+// memoization: exact reuse never happens (the centers move every
+// iteration), yet once clusters converge the sampled inputs stop changing
+// and Dynamic ATM reuses the assignment tasks within the tau_max = 20%
+// per-task error budget.
+//
+//   $ ./clustering
+#include <cstdio>
+
+#include "apps/kmeans.hpp"
+
+int main() {
+  using namespace atm;
+  using namespace atm::apps;
+
+  KmeansParams params = KmeansParams::preset(Preset::Bench);
+  KmeansApp app(params);
+  std::printf("Kmeans: %s\n", app.program_input_desc().c_str());
+  std::printf("tau_max = %.0f%% (Table II), L_training = %u\n\n",
+              100.0 * app.atm_params().tau_max, app.atm_params().l_training);
+
+  const RunConfig base{.threads = 2, .mode = AtmMode::Off};
+  const RunResult off = app.run(base);
+  std::printf("baseline    : %7.1f ms\n", off.wall_seconds * 1e3);
+
+  RunConfig st = base;
+  st.mode = AtmMode::Static;
+  const RunResult stat = app.run(st);
+  std::printf("Static ATM  : %7.1f ms  speedup %.2fx  reuse %.1f%%   <- exact reuse "
+              "never fires\n",
+              stat.wall_seconds * 1e3, off.wall_seconds / stat.wall_seconds,
+              100.0 * stat.reuse_fraction());
+
+  RunConfig dy = base;
+  dy.mode = AtmMode::Dynamic;
+  const RunResult dyn = app.run(dy);
+  std::printf("Dynamic ATM : %7.1f ms  speedup %.2fx  reuse %.1f%%  error %.3g "
+              "(correctness %.2f%%)\n",
+              dyn.wall_seconds * 1e3, off.wall_seconds / dyn.wall_seconds,
+              100.0 * dyn.reuse_fraction(), app.program_error(off, dyn),
+              correctness_percent(app.program_error(off, dyn)));
+  std::printf("chosen p = %.5f%% of the %zu-byte task inputs\n", 100.0 * dyn.final_p,
+              dyn.task_input_bytes);
+  std::printf("\nPaper Fig. 3/4: kmeans loses with Static ATM (hash overhead, zero\n"
+              "hits) and wins ~3.9x with Dynamic ATM at ~1%% accuracy loss.\n");
+  return 0;
+}

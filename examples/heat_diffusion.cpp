@@ -1,0 +1,45 @@
+// Heat diffusion (Gauss-Seidel stencil) with Dynamic ATM — the paper's
+// flagship stencil scenario: a room whose walls emit heat, the interior
+// converging from the walls inward. ATM memoizes the stencil tasks whose
+// blocks have converged or repeat, and Dynamic ATM picks the input-sampling
+// percentage p automatically.
+//
+//   $ ./heat_diffusion
+#include <cstdio>
+
+#include "apps/gauss_seidel.hpp"
+
+int main() {
+  using namespace atm;
+  using namespace atm::apps;
+
+  StencilParams params = StencilParams::preset(Preset::Bench);
+  GaussSeidelApp app(params);
+  std::printf("Gauss-Seidel heat diffusion: %s\n", app.program_input_desc().c_str());
+
+  const RunConfig base{.threads = 2, .mode = AtmMode::Off};
+  const RunResult off = app.run(base);
+  std::printf("baseline (no ATM)    : %7.1f ms\n", off.wall_seconds * 1e3);
+
+  RunConfig st = base;
+  st.mode = AtmMode::Static;
+  const RunResult stat = app.run(st);
+  std::printf("Static ATM (p=100%%)  : %7.1f ms  speedup %.2fx  reuse %.1f%%  "
+              "error %.3g\n",
+              stat.wall_seconds * 1e3, off.wall_seconds / stat.wall_seconds,
+              100.0 * stat.reuse_fraction(), app.program_error(off, stat));
+
+  RunConfig dy = base;
+  dy.mode = AtmMode::Dynamic;
+  const RunResult dyn = app.run(dy);
+  std::printf("Dynamic ATM          : %7.1f ms  speedup %.2fx  reuse %.1f%%  "
+              "error %.3g\n",
+              dyn.wall_seconds * 1e3, off.wall_seconds / dyn.wall_seconds,
+              100.0 * dyn.reuse_fraction(), app.program_error(off, dyn));
+  std::printf("Dynamic ATM trained p = %.5f%% of input bytes (%zu p-steps, "
+              "%zu blacklisted outputs)\n",
+              100.0 * dyn.final_p, dyn.p_history.size(), dyn.blacklist_size);
+  std::printf("\nThe redundancy ATM found: wall-adjacent blocks converge quickly\n"
+              "and interior blocks repeat each other's states (paper §V-D).\n");
+  return 0;
+}

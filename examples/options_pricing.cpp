@@ -1,0 +1,45 @@
+// Portfolio pricing (Blackscholes) with Static vs Dynamic ATM — the paper's
+// financial-analysis scenario. The input replicates option records (as the
+// PARSEC native input does), so whole pricing tasks repeat; re-pricing the
+// portfolio every "market tick" multiplies the redundancy.
+//
+//   $ ./options_pricing
+#include <cstdio>
+
+#include "apps/blackscholes.hpp"
+
+int main() {
+  using namespace atm;
+  using namespace atm::apps;
+
+  BlackscholesParams params = BlackscholesParams::preset(Preset::Bench);
+  BlackscholesApp app(params);
+  std::printf("Blackscholes portfolio pricing: %s\n", app.program_input_desc().c_str());
+  std::printf("memoized task type: %s (%zu option blocks x %u pricing runs)\n\n",
+              app.memoized_task_type().c_str(), params.num_options / params.block_size,
+              params.iterations);
+
+  const RunConfig base{.threads = 2, .mode = AtmMode::Off};
+  const RunResult off = app.run(base);
+
+  for (AtmMode mode : {AtmMode::Static, AtmMode::Dynamic}) {
+    RunConfig config = base;
+    config.mode = mode;
+    const RunResult run = app.run(config);
+    std::printf("%-12s: %7.1f ms  speedup %.2fx  reuse %5.1f%%  error %.3g",
+                atm_mode_name(mode), run.wall_seconds * 1e3,
+                off.wall_seconds / run.wall_seconds, 100.0 * run.reuse_fraction(),
+                app.program_error(off, run));
+    if (mode == AtmMode::Dynamic) {
+      std::printf("  (p=%.4f%%, hash cost %.2f ms)", 100.0 * run.final_p,
+                  run.atm.hash_ns * 1e-6);
+    }
+    std::printf("\n");
+  }
+  std::printf("baseline    : %7.1f ms\n\n", off.wall_seconds * 1e3);
+  std::printf("Dynamic ATM hashes ~%.2f%% of each task's 12 KB of option data and\n"
+              "still separates distinct blocks: approximation here removes hash\n"
+              "overhead, not accuracy (paper Fig. 3: 5.5x -> 8.8x).\n",
+              0.098);
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "apps/app_registry.hpp"
+
+#include "apps/blackscholes.hpp"
+#include "apps/gauss_seidel.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/sparse_lu.hpp"
+#include "apps/swaptions.hpp"
+#include "common/env.hpp"
+
+namespace atm::apps {
+
+double App::program_error(const RunResult& reference, const RunResult& result) const {
+  if (result.app_specific_error >= 0.0) return result.app_specific_error;
+  return euclidean_relative_error<double>(reference.output, result.output);
+}
+
+std::unique_ptr<AtmEngine> make_engine(const RunConfig& config) {
+  if (config.mode == AtmMode::Off) return nullptr;
+  AtmConfig c;
+  c.mode = config.mode;
+  c.log2_buckets = config.log2_buckets;
+  c.bucket_capacity = config.bucket_capacity;
+  c.use_ikt = config.use_ikt;
+  c.type_aware = config.type_aware;
+  c.fixed_p = config.fixed_p;
+  c.shuffle_seed = config.shuffle_seed;
+  c.verify_full_inputs = config.verify_full_inputs;
+  c.eviction = config.eviction;
+  return std::make_unique<AtmEngine>(c);
+}
+
+void finalize_result(RunResult& result, rt::Runtime& runtime, AtmEngine* engine,
+                     const rt::TaskType* memoized_type, const RunConfig& config) {
+  result.counters = runtime.counters();
+  if (engine != nullptr) {
+    result.atm = engine->stats();
+    result.atm_memory_bytes = engine->memory_bytes();
+    if (memoized_type != nullptr) {
+      result.final_p = engine->current_p(*memoized_type);
+      result.final_phase = engine->phase(*memoized_type);
+      result.p_history = engine->p_history(*memoized_type);
+      result.blacklist_size = engine->blacklist_size(*memoized_type);
+    }
+  }
+  if (config.tracing) {
+    const auto& tracer = runtime.tracer();
+    for (std::size_t lane = 0; lane < tracer.lane_count(); ++lane) {
+      result.lane_summaries.push_back(tracer.summarize_lane(lane));
+    }
+    result.depth_samples = tracer.depth_samples();
+    result.ascii_timeline = tracer.ascii_timeline();
+  }
+}
+
+namespace {
+/// Jacobi trains longer than Gauss-Seidel (Table II: 150 vs 100).
+StencilParams jacobi_params(Preset preset) {
+  StencilParams p = StencilParams::preset(preset);
+  switch (preset) {
+    case Preset::Test: p.l_training = 14; break;
+    case Preset::Bench: p.l_training = 64; break;
+    case Preset::Paper: p.l_training = 150; break;
+  }
+  return p;
+}
+}  // namespace
+
+std::vector<std::unique_ptr<App>> make_all_apps(Preset preset) {
+  std::vector<std::unique_ptr<App>> apps;
+  apps.push_back(std::make_unique<BlackscholesApp>(BlackscholesParams::preset(preset)));
+  apps.push_back(std::make_unique<GaussSeidelApp>(StencilParams::preset(preset)));
+  apps.push_back(std::make_unique<JacobiApp>(jacobi_params(preset)));
+  apps.push_back(std::make_unique<KmeansApp>(KmeansParams::preset(preset)));
+  apps.push_back(std::make_unique<SparseLuApp>(SparseLuParams::preset(preset)));
+  apps.push_back(std::make_unique<SwaptionsApp>(SwaptionsParams::preset(preset)));
+  return apps;
+}
+
+std::unique_ptr<App> make_app(const std::string& name, Preset preset) {
+  if (name == "blackscholes")
+    return std::make_unique<BlackscholesApp>(BlackscholesParams::preset(preset));
+  if (name == "gauss-seidel" || name == "gs")
+    return std::make_unique<GaussSeidelApp>(StencilParams::preset(preset));
+  if (name == "jacobi") return std::make_unique<JacobiApp>(jacobi_params(preset));
+  if (name == "kmeans") return std::make_unique<KmeansApp>(KmeansParams::preset(preset));
+  if (name == "lu" || name == "sparselu")
+    return std::make_unique<SparseLuApp>(SparseLuParams::preset(preset));
+  if (name == "swaptions")
+    return std::make_unique<SwaptionsApp>(SwaptionsParams::preset(preset));
+  return nullptr;
+}
+
+Preset preset_from_env() {
+  const std::string scale = env_string("ATM_SCALE", env_string("ATM_PRESET"));
+  if (scale == "paper") return Preset::Paper;
+  if (scale == "test" || scale == "tiny") return Preset::Test;
+  return Preset::Bench;
+}
+
+}  // namespace atm::apps

@@ -1,0 +1,115 @@
+// Uniform interface over the paper's six benchmark applications
+// (Table I): construction by name, presets for workload scale, and a
+// single run() entry point used by tests, examples and every bench binary.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atm_lib.hpp"
+
+namespace atm::apps {
+
+/// Workload sizing. `Test` keeps unit tests fast; `Bench` is the default
+/// container-friendly scale; `Paper` matches the paper's input sizes
+/// (Table I) and is selected with ATM_SCALE=paper.
+enum class Preset { Test, Bench, Paper };
+
+/// Per-run configuration shared by every app.
+struct RunConfig {
+  unsigned threads = 2;
+  AtmMode mode = AtmMode::Off;
+  double fixed_p = 1.0;           ///< FixedP (Oracle) runs
+  bool use_ikt = true;
+  bool type_aware = true;
+  unsigned log2_buckets = 8;      ///< THT N (§IV-B)
+  unsigned bucket_capacity = 128; ///< THT M (§IV-B)
+  bool verify_full_inputs = false;///< §III-E rejected original approach
+  EvictionPolicy eviction = EvictionPolicy::Fifo;
+  bool tracing = false;
+  std::uint64_t shuffle_seed = 0x5eedULL;
+};
+
+/// Everything a run reports back to the harnesses.
+struct RunResult {
+  double wall_seconds = 0.0;
+  /// Flattened program output (prices / stencil matrix / centers / LU),
+  /// the object the paper measures correctness on (Table I last column).
+  std::vector<double> output;
+  /// Eq. 4-style self-contained error; < 0 when the app has none and the
+  /// harness should compare outputs against a reference run via Eq. 3.
+  double app_specific_error = -1.0;
+
+  rt::RuntimeCounters counters;
+  AtmStatsSnapshot atm;
+  double final_p = 0.0;             ///< memoized type's p after the run
+  TrainingPhase final_phase = TrainingPhase::Steady;
+  std::vector<double> p_history;    ///< p steps visited during training
+  std::size_t blacklist_size = 0;
+
+  std::size_t app_memory_bytes = 0; ///< application footprint (Table III denominator)
+  std::size_t atm_memory_bytes = 0; ///< ATM structures (Table III numerator)
+  std::size_t task_input_bytes = 0; ///< memoized task's input size (Table I)
+
+  /// Trace data (only when RunConfig::tracing): per-lane summaries etc. are
+  /// read from the runtime before teardown and stored here.
+  std::vector<rt::LaneSummary> lane_summaries;
+  std::vector<rt::DepthSample> depth_samples;
+  std::string ascii_timeline;
+
+  /// Reuse fraction: memoized tasks / total tasks of the memoized type
+  /// (the paper's "Reuse" metric, §IV-C).
+  [[nodiscard]] double reuse_fraction() const noexcept {
+    const auto total = counters.executed + counters.memoized + counters.deferred;
+    if (total == 0) return 0.0;
+    return static_cast<double>(counters.memoized + counters.deferred) /
+           static_cast<double>(total);
+  }
+};
+
+/// Interface implemented by each benchmark.
+class App {
+ public:
+  virtual ~App() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string domain() const = 0;
+  /// Table I columns.
+  [[nodiscard]] virtual std::string program_input_desc() const = 0;
+  [[nodiscard]] virtual std::string task_input_types() const = 0;
+  [[nodiscard]] virtual std::string memoized_task_type() const = 0;
+  [[nodiscard]] virtual std::string correctness_target() const = 0;
+  /// Table II parameters for the memoized type.
+  [[nodiscard]] virtual rt::AtmParams atm_params() const = 0;
+
+  /// Execute the full benchmark under `config` (fresh state every call).
+  [[nodiscard]] virtual RunResult run(const RunConfig& config) const = 0;
+
+  /// Whole-program Euclidean relative error (Eq. 3) between a reference
+  /// (mode Off) output and this run's output. LU overrides this to use its
+  /// app-specific residual (Eq. 4).
+  [[nodiscard]] virtual double program_error(const RunResult& reference,
+                                             const RunResult& result) const;
+};
+
+/// All six paper benchmarks at the given scale, Table I order.
+[[nodiscard]] std::vector<std::unique_ptr<App>> make_all_apps(Preset preset);
+
+/// One benchmark by name ("blackscholes", "gauss-seidel", "jacobi",
+/// "kmeans", "lu", "swaptions"); nullptr if unknown.
+[[nodiscard]] std::unique_ptr<App> make_app(const std::string& name, Preset preset);
+
+/// Shared helper: build an engine for `config` (nullptr when mode == Off).
+[[nodiscard]] std::unique_ptr<AtmEngine> make_engine(const RunConfig& config);
+
+/// Shared helper: fill the generic parts of a RunResult from a finished
+/// runtime/engine pair (counters, ATM stats, memory, traces).
+void finalize_result(RunResult& result, rt::Runtime& runtime, AtmEngine* engine,
+                     const rt::TaskType* memoized_type, const RunConfig& config);
+
+/// The preset selected by the ATM_SCALE / ATM_PRESET environment variables
+/// (default Bench; "paper" => Paper, "test" => Test).
+[[nodiscard]] Preset preset_from_env();
+
+}  // namespace atm::apps

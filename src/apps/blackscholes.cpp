@@ -1,0 +1,141 @@
+#include "apps/blackscholes.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/rng.hpp"
+#include "common/timing.hpp"
+
+namespace atm::apps {
+
+BlackscholesParams BlackscholesParams::preset(Preset preset) {
+  BlackscholesParams p;
+  switch (preset) {
+    case Preset::Test:
+      p.num_options = 4'000;
+      p.distinct_options = 2'000;
+      p.block_size = 250;
+      p.iterations = 4;
+      p.l_training = 8;
+      break;
+    case Preset::Bench:
+      break;  // defaults
+    case Preset::Paper:
+      p.num_options = 10'000'000;
+      p.distinct_options = 1'000;  // the native input replicates ~1000 records
+      p.block_size = 16'384;
+      p.iterations = 10;
+      break;
+  }
+  return p;
+}
+
+std::string BlackscholesApp::program_input_desc() const {
+  std::ostringstream os;
+  os << params_.num_options << " options (" << params_.distinct_options
+     << " distinct, replicated), " << params_.iterations << " pricing runs";
+  return os.str();
+}
+
+namespace {
+/// Cumulative normal distribution, PARSEC-style polynomial approximation.
+float cndf(float x) noexcept {
+  const bool negative = x < 0.0f;
+  if (negative) x = -x;
+  const float k = 1.0f / (1.0f + 0.2316419f * x);
+  const float k_pow = k * (0.319381530f +
+                           k * (-0.356563782f +
+                                k * (1.781477937f + k * (-1.821255978f + k * 1.330274429f))));
+  const float n_prime = 0.3989422804f * std::exp(-0.5f * x * x);
+  const float result = 1.0f - n_prime * k_pow;
+  return negative ? 1.0f - result : result;
+}
+}  // namespace
+
+float black_scholes_price(float spot, float strike, float rate, float volatility,
+                          float time, float otype) noexcept {
+  const float sqrt_t = std::sqrt(time);
+  const float d1 = (std::log(spot / strike) + (rate + 0.5f * volatility * volatility) * time) /
+                   (volatility * sqrt_t);
+  const float d2 = d1 - volatility * sqrt_t;
+  const float discounted_strike = strike * std::exp(-rate * time);
+  if (otype > 0.5f) {  // put
+    return discounted_strike * cndf(-d2) - spot * cndf(-d1);
+  }
+  return spot * cndf(d1) - discounted_strike * cndf(d2);
+}
+
+RunResult BlackscholesApp::run(const RunConfig& config) const {
+  const std::size_t n = params_.num_options;
+  const std::size_t distinct = std::min(params_.distinct_options, n);
+  const std::size_t bs = params_.block_size;
+
+  // SoA arrays, PARSEC layout.
+  AlignedBuffer<float> spot(n), strike(n), rate(n), volatility(n), time(n), otype(n);
+  AlignedBuffer<float> prices(n);
+  {
+    Rng rng(params_.seed);
+    for (std::size_t i = 0; i < distinct; ++i) {
+      spot[i] = rng.next_float(10.0f, 200.0f);
+      strike[i] = rng.next_float(10.0f, 200.0f);
+      rate[i] = rng.next_float(0.01f, 0.1f);
+      volatility[i] = rng.next_float(0.05f, 0.65f);
+      time[i] = rng.next_float(0.1f, 4.0f);
+      otype[i] = rng.next_below(2) != 0 ? 1.0f : 0.0f;
+    }
+    // Replicate the base set cyclically: the redundancy structure of the
+    // PARSEC native input.
+    for (std::size_t i = distinct; i < n; ++i) {
+      spot[i] = spot[i % distinct];
+      strike[i] = strike[i % distinct];
+      rate[i] = rate[i % distinct];
+      volatility[i] = volatility[i % distinct];
+      time[i] = time[i % distinct];
+      otype[i] = otype[i % distinct];
+    }
+  }
+
+  auto engine = make_engine(config);
+  rt::Runtime runtime({.num_threads = config.threads, .enable_tracing = config.tracing});
+  if (engine != nullptr) runtime.attach_memoizer(engine.get());
+
+  const auto* bs_type = runtime.register_type(
+      {.name = "bs_thread", .memoizable = true, .atm = atm_params()});
+
+  Timer timer;
+  for (unsigned iter = 0; iter < params_.iterations; ++iter) {
+    for (std::size_t begin = 0; begin < n; begin += bs) {
+      const std::size_t count = std::min(bs, n - begin);
+      const float* s = spot.data() + begin;
+      const float* k = strike.data() + begin;
+      const float* r = rate.data() + begin;
+      const float* v = volatility.data() + begin;
+      const float* t = time.data() + begin;
+      const float* o = otype.data() + begin;
+      float* out = prices.data() + begin;
+      runtime.submit(
+          bs_type,
+          [s, k, r, v, t, o, out, count] {
+            for (std::size_t i = 0; i < count; ++i) {
+              out[i] = black_scholes_price(s[i], k[i], r[i], v[i], t[i], o[i]);
+            }
+          },
+          {rt::in(s, count), rt::in(k, count), rt::in(r, count), rt::in(v, count),
+           rt::in(t, count), rt::in(o, count), rt::out(out, count)});
+    }
+    // PARSEC re-prices the portfolio NUM_RUNS times with a barrier between.
+    runtime.taskwait();
+  }
+
+  RunResult result;
+  result.wall_seconds = timer.elapsed_s();
+  result.output.assign(prices.begin(), prices.end());
+  result.app_memory_bytes = 7 * n * sizeof(float);
+  result.task_input_bytes = 6 * bs * sizeof(float);
+  finalize_result(result, runtime, engine.get(), bs_type, config);
+  return result;
+}
+
+}  // namespace atm::apps

@@ -1,0 +1,54 @@
+// Blackscholes (paper Table I, §IV-A): analytic European option pricing via
+// the Black-Scholes PDE closed form, PARSEC-style — SoA float arrays,
+// blocks of options priced by `bs_thread` tasks, the whole portfolio priced
+// repeatedly (NUM_RUNS iterations). Redundancy comes from the replicated
+// option records of the native input (our generator reproduces that
+// structure) and from the repeated iterations (§V-D).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_registry.hpp"
+
+namespace atm::apps {
+
+struct BlackscholesParams {
+  std::size_t num_options = 40'000;       ///< paper: 10 million
+  std::size_t distinct_options = 20'000;  ///< base set, replicated cyclically
+  std::size_t block_size = 500;           ///< options per bs_thread task (paper: 16384)
+  unsigned iterations = 10;               ///< NUM_RUNS re-pricing sweeps
+  std::uint32_t l_training = 15;          ///< Table II (preset-scaled)
+  std::uint64_t seed = 0xB1ac5c401e5ULL;
+
+  [[nodiscard]] static BlackscholesParams preset(Preset preset);
+};
+
+class BlackscholesApp final : public App {
+ public:
+  explicit BlackscholesApp(BlackscholesParams params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "Blackscholes"; }
+  [[nodiscard]] std::string domain() const override { return "financial analysis"; }
+  [[nodiscard]] std::string program_input_desc() const override;
+  [[nodiscard]] std::string task_input_types() const override { return "float"; }
+  [[nodiscard]] std::string memoized_task_type() const override { return "bs_thread"; }
+  [[nodiscard]] std::string correctness_target() const override { return "Prices Vector"; }
+  [[nodiscard]] rt::AtmParams atm_params() const override {
+    return {.l_training = params_.l_training, .tau_max = 0.01};  // Table II
+  }
+
+  [[nodiscard]] RunResult run(const RunConfig& config) const override;
+
+  [[nodiscard]] const BlackscholesParams& params() const noexcept { return params_; }
+
+ private:
+  BlackscholesParams params_;
+};
+
+/// The closed-form Black-Scholes price of one option (exposed for tests).
+/// `otype` > 0.5 prices a put, otherwise a call.
+[[nodiscard]] float black_scholes_price(float spot, float strike, float rate,
+                                        float volatility, float time,
+                                        float otype) noexcept;
+
+}  // namespace atm::apps

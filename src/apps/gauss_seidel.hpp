@@ -1,0 +1,38 @@
+// Gauss-Seidel 2D 5-point stencil solver (paper Table I, §IV-A): the matrix
+// is split into blocks, each swept in place by a `stencilComputation` task;
+// neighbor rows/columns arrive through halo copy-tasks. Only the stencil
+// task type is memoized. All iterations flow through the dependence graph
+// without barriers — the classic OmpSs wavefront.
+#pragma once
+
+#include "apps/stencil_common.hpp"
+
+namespace atm::apps {
+
+class GaussSeidelApp final : public App {
+ public:
+  explicit GaussSeidelApp(StencilParams params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "Gauss-Seidel"; }
+  [[nodiscard]] std::string domain() const override { return "stencil-computation"; }
+  [[nodiscard]] std::string program_input_desc() const override;
+  [[nodiscard]] std::string task_input_types() const override { return "float"; }
+  [[nodiscard]] std::string memoized_task_type() const override {
+    return "stencilComputation";
+  }
+  [[nodiscard]] std::string correctness_target() const override {
+    return "Stencil Matrix";
+  }
+  [[nodiscard]] rt::AtmParams atm_params() const override {
+    return {.l_training = params_.l_training, .tau_max = 0.01};  // Table II
+  }
+
+  [[nodiscard]] RunResult run(const RunConfig& config) const override;
+
+  [[nodiscard]] const StencilParams& params() const noexcept { return params_; }
+
+ private:
+  StencilParams params_;
+};
+
+}  // namespace atm::apps

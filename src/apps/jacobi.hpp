@@ -1,0 +1,38 @@
+// Jacobi 2D 5-point stencil solver (paper Table I, §IV-A): same workload as
+// Gauss-Seidel but ping-pong buffered — no dependences between tasks of one
+// iteration, a barrier at the end of each (the paper's description). The
+// stencil task type is memoized; Jacobi is the benchmark whose chaotic
+// output pointers exercise Dynamic ATM's blacklist (§III-D).
+#pragma once
+
+#include "apps/stencil_common.hpp"
+
+namespace atm::apps {
+
+class JacobiApp final : public App {
+ public:
+  explicit JacobiApp(StencilParams params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "Jacobi"; }
+  [[nodiscard]] std::string domain() const override { return "stencil-computation"; }
+  [[nodiscard]] std::string program_input_desc() const override;
+  [[nodiscard]] std::string task_input_types() const override { return "float"; }
+  [[nodiscard]] std::string memoized_task_type() const override {
+    return "stencilComputation";
+  }
+  [[nodiscard]] std::string correctness_target() const override {
+    return "Stencil Matrix";
+  }
+  [[nodiscard]] rt::AtmParams atm_params() const override {
+    return {.l_training = params_.l_training, .tau_max = 0.01};  // Table II
+  }
+
+  [[nodiscard]] RunResult run(const RunConfig& config) const override;
+
+  [[nodiscard]] const StencilParams& params() const noexcept { return params_; }
+
+ private:
+  StencilParams params_;
+};
+
+}  // namespace atm::apps

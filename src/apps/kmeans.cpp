@@ -1,0 +1,167 @@
+#include "apps/kmeans.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/rng.hpp"
+#include "common/timing.hpp"
+
+namespace atm::apps {
+
+KmeansParams KmeansParams::preset(Preset preset) {
+  KmeansParams p;
+  switch (preset) {
+    case Preset::Test:
+      p.num_points = 4'096;
+      p.dims = 8;
+      p.clusters = 4;
+      p.block_points = 512;
+      p.iterations = 8;
+      break;
+    case Preset::Bench:
+      break;  // defaults
+    case Preset::Paper:
+      p.num_points = 2'000'000;
+      p.dims = 100;
+      p.clusters = 16;
+      p.block_points = 512;
+      p.iterations = 40;
+      break;
+  }
+  return p;
+}
+
+std::string KmeansApp::program_input_desc() const {
+  std::ostringstream os;
+  os << params_.num_points << " points, " << params_.clusters << " centers, "
+     << params_.dims << " dimensions, " << params_.iterations << " iterations";
+  return os.str();
+}
+
+namespace {
+
+/// Assign every point of a block to its nearest center; accumulate the
+/// block's per-cluster coordinate sums and counts (the memoized task body).
+void assign_block(const float* points, std::size_t npts, const float* centers,
+                  std::size_t k, std::size_t d, float* sums, std::int32_t* counts) noexcept {
+  for (std::size_t c = 0; c < k * d; ++c) sums[c] = 0.0f;
+  for (std::size_t c = 0; c < k; ++c) counts[c] = 0;
+  for (std::size_t i = 0; i < npts; ++i) {
+    const float* pt = points + i * d;
+    std::size_t best = 0;
+    float best_dist = HUGE_VALF;
+    for (std::size_t c = 0; c < k; ++c) {
+      const float* ctr = centers + c * d;
+      float dist = 0.0f;
+      for (std::size_t j = 0; j < d; ++j) {
+        const float delta = pt[j] - ctr[j];
+        dist += delta * delta;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    float* sum = sums + best * d;
+    for (std::size_t j = 0; j < d; ++j) sum[j] += pt[j];
+    ++counts[best];
+  }
+}
+
+}  // namespace
+
+RunResult KmeansApp::run(const RunConfig& config) const {
+  const std::size_t n = params_.num_points;
+  const std::size_t d = params_.dims;
+  const std::size_t k = params_.clusters;
+  const std::size_t bp = params_.block_points;
+  const std::size_t num_blocks = (n + bp - 1) / bp;
+
+  AlignedBuffer<float> points(n * d);
+  AlignedBuffer<float> centers(k * d);
+  AlignedBuffer<float> partial_sums(num_blocks * k * d);
+  AlignedBuffer<std::int32_t> partial_counts(num_blocks * k);
+
+  {
+    // Points scattered around k well-separated ground-truth centroids.
+    Rng rng(params_.seed);
+    std::vector<float> truth(k * d);
+    for (auto& v : truth) v = rng.next_float(-50.0f, 50.0f);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = static_cast<std::size_t>(rng.next_below(k));
+      for (std::size_t j = 0; j < d; ++j) {
+        points[i * d + j] = truth[c * d + j] + rng.next_float(-2.0f, 2.0f);
+      }
+    }
+    // Initial centers: the first k points (deterministic).
+    for (std::size_t c = 0; c < k; ++c) {
+      for (std::size_t j = 0; j < d; ++j) centers[c * d + j] = points[c * d + j];
+    }
+  }
+
+  auto engine = make_engine(config);
+  rt::Runtime runtime({.num_threads = config.threads, .enable_tracing = config.tracing});
+  if (engine != nullptr) runtime.attach_memoizer(engine.get());
+
+  const auto* assign_type = runtime.register_type(
+      {.name = "kmeans_calculate", .memoizable = true, .atm = atm_params()});
+  const auto* update_type =
+      runtime.register_type({.name = "kmeans_update_centers", .memoizable = false, .atm = {}});
+
+  float* ctr = centers.data();
+  float* sums_base = partial_sums.data();
+  std::int32_t* counts_base = partial_counts.data();
+
+  Timer timer;
+  for (unsigned iter = 0; iter < params_.iterations; ++iter) {
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      const std::size_t begin = b * bp;
+      const std::size_t npts = std::min(bp, n - begin);
+      const float* pts = points.data() + begin * d;
+      float* sums = sums_base + b * k * d;
+      std::int32_t* counts = counts_base + b * k;
+      runtime.submit(
+          assign_type,
+          [pts, npts, ctr, k, d, sums, counts] {
+            assign_block(pts, npts, ctr, k, d, sums, counts);
+          },
+          {rt::in(pts, npts * d), rt::in(static_cast<const float*>(ctr), k * d),
+           rt::out(sums, k * d), rt::out(counts, k)});
+    }
+    // Single reduction task recomputing the centers (not memoized).
+    runtime.submit(
+        update_type,
+        [ctr, sums_base, counts_base, num_blocks, k, d] {
+          for (std::size_t c = 0; c < k; ++c) {
+            std::int64_t count = 0;
+            for (std::size_t b = 0; b < num_blocks; ++b) count += counts_base[b * k + c];
+            if (count == 0) continue;  // keep an empty cluster's center
+            for (std::size_t j = 0; j < d; ++j) {
+              double sum = 0.0;
+              for (std::size_t b = 0; b < num_blocks; ++b) {
+                sum += static_cast<double>(sums_base[(b * k + c) * d + j]);
+              }
+              ctr[c * d + j] = static_cast<float>(sum / static_cast<double>(count));
+            }
+          }
+        },
+        {rt::in(static_cast<const float*>(sums_base), num_blocks * k * d),
+         rt::in(static_cast<const std::int32_t*>(counts_base), num_blocks * k),
+         rt::inout(ctr, k * d)});
+    runtime.taskwait();
+  }
+
+  RunResult result;
+  result.wall_seconds = timer.elapsed_s();
+  result.output.assign(centers.begin(), centers.end());
+  result.app_memory_bytes = points.size_bytes() + centers.size_bytes() +
+                            partial_sums.size_bytes() + partial_counts.size_bytes();
+  result.task_input_bytes = bp * d * sizeof(float) + k * d * sizeof(float);
+  finalize_result(result, runtime, engine.get(), assign_type, config);
+  return result;
+}
+
+}  // namespace atm::apps

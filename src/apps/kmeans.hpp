@@ -1,0 +1,54 @@
+// Kmeans clustering (paper Table I, §IV-A): blocks of points are assigned
+// to their closest centers by the memoized `kmeans_calculate` task type; a
+// second (non-memoized) task type recomputes the centers. Exact reuse never
+// happens — the centers move every iteration — so this is the benchmark
+// that *only* profits from task approximation: once clusters converge, the
+// sampled input bytes stop changing and Dynamic ATM reuses the assignments
+// (§V-D).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_registry.hpp"
+
+namespace atm::apps {
+
+struct KmeansParams {
+  std::size_t num_points = 32'768;  ///< paper: 2e6
+  std::size_t dims = 32;            ///< paper: 100
+  std::size_t clusters = 16;        ///< paper: 16
+  std::size_t block_points = 2'048; ///< points per assign task
+  unsigned iterations = 20;
+  std::uint32_t l_training = 15;  ///< Table II
+  std::uint64_t seed = 0x142ea5ULL;
+
+  [[nodiscard]] static KmeansParams preset(Preset preset);
+};
+
+class KmeansApp final : public App {
+ public:
+  explicit KmeansApp(KmeansParams params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "Kmeans"; }
+  [[nodiscard]] std::string domain() const override { return "machine-learning"; }
+  [[nodiscard]] std::string program_input_desc() const override;
+  [[nodiscard]] std::string task_input_types() const override { return "float, int"; }
+  [[nodiscard]] std::string memoized_task_type() const override {
+    return "kmeans_calculate";
+  }
+  [[nodiscard]] std::string correctness_target() const override {
+    return "Centers Vector";
+  }
+  [[nodiscard]] rt::AtmParams atm_params() const override {
+    return {.l_training = params_.l_training, .tau_max = 0.20};  // Table II: tau_max = 20%
+  }
+
+  [[nodiscard]] RunResult run(const RunConfig& config) const override;
+
+  [[nodiscard]] const KmeansParams& params() const noexcept { return params_; }
+
+ private:
+  KmeansParams params_;
+};
+
+}  // namespace atm::apps

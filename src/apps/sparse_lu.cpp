@@ -1,0 +1,279 @@
+#include "apps/sparse_lu.hpp"
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/rng.hpp"
+#include "common/timing.hpp"
+
+namespace atm::apps {
+
+SparseLuParams SparseLuParams::preset(Preset preset) {
+  SparseLuParams p;
+  switch (preset) {
+    case Preset::Test:
+      p.nblocks = 6;
+      p.block_dim = 16;
+      p.l_training = 4;
+      break;
+    case Preset::Bench:
+      break;  // defaults
+    case Preset::Paper:
+      p.nblocks = 20;
+      p.block_dim = 256;
+      p.l_training = 30;
+      break;
+  }
+  return p;
+}
+
+std::string SparseLuApp::program_input_desc() const {
+  std::ostringstream os;
+  os << params_.nblocks << "x" << params_.nblocks << " blocks of " << params_.block_dim
+     << "x" << params_.block_dim << " elements, density "
+     << static_cast<int>(params_.density * 100.0) << "%";
+  return os.str();
+}
+
+void lu0_kernel(float* diag, std::size_t b) noexcept {
+  for (std::size_t k = 0; k < b; ++k) {
+    const float pivot = diag[k * b + k];
+    for (std::size_t i = k + 1; i < b; ++i) {
+      diag[i * b + k] /= pivot;
+      const float factor = diag[i * b + k];
+      for (std::size_t j = k + 1; j < b; ++j) {
+        diag[i * b + j] -= factor * diag[k * b + j];
+      }
+    }
+  }
+}
+
+void fwd_kernel(const float* diag, float* col, std::size_t b) noexcept {
+  // Apply L^-1 (unit lower triangle of diag) to the block right of it.
+  for (std::size_t k = 0; k < b; ++k) {
+    for (std::size_t i = k + 1; i < b; ++i) {
+      const float factor = diag[i * b + k];
+      for (std::size_t j = 0; j < b; ++j) {
+        col[i * b + j] -= factor * col[k * b + j];
+      }
+    }
+  }
+}
+
+void bdiv_kernel(const float* diag, float* row, std::size_t b) noexcept {
+  // Apply U^-1 (upper triangle of diag) from the right to the block below.
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t k = 0; k < b; ++k) {
+      row[i * b + k] /= diag[k * b + k];
+      const float factor = row[i * b + k];
+      for (std::size_t j = k + 1; j < b; ++j) {
+        row[i * b + j] -= factor * diag[k * b + j];
+      }
+    }
+  }
+}
+
+void bmod_kernel(const float* row, const float* col, float* inner,
+                 std::size_t b) noexcept {
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t k = 0; k < b; ++k) {
+      const float factor = row[i * b + k];
+      for (std::size_t j = 0; j < b; ++j) {
+        inner[i * b + j] -= factor * col[k * b + j];
+      }
+    }
+  }
+}
+
+namespace {
+
+struct BlockMatrix {
+  std::size_t nb = 0;
+  std::size_t bd = 0;
+  std::vector<std::unique_ptr<AlignedBuffer<float>>> blocks;  // nb*nb, null = zero
+
+  [[nodiscard]] float* at(std::size_t ii, std::size_t jj) {
+    auto& cell = blocks[ii * nb + jj];
+    return cell ? cell->data() : nullptr;
+  }
+  [[nodiscard]] const float* at(std::size_t ii, std::size_t jj) const {
+    const auto& cell = blocks[ii * nb + jj];
+    return cell ? cell->data() : nullptr;
+  }
+  float* ensure(std::size_t ii, std::size_t jj) {
+    auto& cell = blocks[ii * nb + jj];
+    if (!cell) cell = std::make_unique<AlignedBuffer<float>>(bd * bd);  // zeroed
+    return cell->data();
+  }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::size_t n = 0;
+    for (const auto& cell : blocks) {
+      if (cell) n += cell->size_bytes();
+    }
+    return n;
+  }
+};
+
+/// Deterministic sparse matrix with pooled block contents: the repeated
+/// patterns are the input redundancy bmod reuses (§V-D: "this redundancy is
+/// both thanks to the algorithm and to the inputs").
+BlockMatrix generate(const SparseLuParams& params) {
+  BlockMatrix m;
+  m.nb = params.nblocks;
+  m.bd = params.block_dim;
+  m.blocks.resize(m.nb * m.nb);
+
+  const std::size_t pool_n = params.pattern_pool != 0 ? params.pattern_pool : 1;
+  std::vector<std::vector<float>> pool(pool_n);
+  for (std::size_t pi = 0; pi < pool_n; ++pi) {
+    Rng rng(splitmix64(params.seed ^ (0xb10cULL + pi)));
+    pool[pi].resize(m.bd * m.bd);
+    for (auto& v : pool[pi]) v = rng.next_float(-1.0f, 1.0f);
+  }
+
+  Rng structure_rng(splitmix64(params.seed ^ 0x57a7ULL));
+  for (std::size_t ii = 0; ii < m.nb; ++ii) {
+    for (std::size_t jj = 0; jj < m.nb; ++jj) {
+      const bool on_diag = ii == jj;
+      const bool near_diag = ii == jj + 1 || jj == ii + 1;
+      const bool present =
+          on_diag || near_diag ||
+          structure_rng.next_double() < params.density;
+      if (!present) continue;
+      float* blk = m.ensure(ii, jj);
+      // Spatially periodic assignment: translated block positions share
+      // contents, so bmod sees repeated (row, col, target) triples.
+      const auto& pattern = pool[((ii % 2) * 2 + (jj % 2)) % pool_n];
+      for (std::size_t i = 0; i < m.bd * m.bd; ++i) blk[i] = pattern[i];
+      if (on_diag) {
+        // Diagonal dominance keeps the pivot-free factorization stable.
+        for (std::size_t i = 0; i < m.bd; ++i) {
+          blk[i * m.bd + i] += static_cast<float>(2 * m.bd);
+        }
+      }
+    }
+  }
+  return m;
+}
+
+/// Dense copy of the block matrix (row-major doubles).
+std::vector<double> to_dense(const BlockMatrix& m) {
+  const std::size_t n = m.nb * m.bd;
+  std::vector<double> dense(n * n, 0.0);
+  for (std::size_t ii = 0; ii < m.nb; ++ii) {
+    for (std::size_t jj = 0; jj < m.nb; ++jj) {
+      const float* blk = m.at(ii, jj);
+      if (blk == nullptr) continue;
+      for (std::size_t i = 0; i < m.bd; ++i) {
+        for (std::size_t j = 0; j < m.bd; ++j) {
+          dense[(ii * m.bd + i) * n + (jj * m.bd + j)] =
+              static_cast<double>(blk[i * m.bd + j]);
+        }
+      }
+    }
+  }
+  return dense;
+}
+
+/// Eq. 4: |A - L*U|^2 / |A|^2 with L unit-lower / U upper from the factored
+/// dense matrix `lu` against the original `a`.
+double lu_residual(const std::vector<double>& a, const std::vector<double>& lu,
+                   std::size_t n) {
+  double num = 0.0;
+  double den = 0.0;
+  std::vector<double> row_product(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) row_product[j] = 0.0;
+    // (L*U)(i, j) = sum_k L(i,k) U(k,j), L unit-lower, U upper.
+    for (std::size_t k = 0; k <= i; ++k) {
+      const double l_ik = k == i ? 1.0 : lu[i * n + k];
+      if (l_ik == 0.0) continue;
+      const double* u_row = lu.data() + k * n;
+      for (std::size_t j = k; j < n; ++j) {
+        row_product[j] += l_ik * u_row[j];
+      }
+    }
+    const double* a_row = a.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double diff = a_row[j] - row_product[j];
+      num += diff * diff;
+      den += a_row[j] * a_row[j];
+    }
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+}  // namespace
+
+double SparseLuApp::program_error(const RunResult& reference,
+                                  const RunResult& result) const {
+  (void)reference;
+  return result.app_specific_error;
+}
+
+RunResult SparseLuApp::run(const RunConfig& config) const {
+  const std::size_t nb = params_.nblocks;
+  const std::size_t bd = params_.block_dim;
+
+  BlockMatrix matrix = generate(params_);
+  const std::vector<double> original = to_dense(matrix);
+
+  auto engine = make_engine(config);
+  rt::Runtime runtime({.num_threads = config.threads, .enable_tracing = config.tracing});
+  if (engine != nullptr) runtime.attach_memoizer(engine.get());
+
+  const auto* lu0_type = runtime.register_type({.name = "lu0", .memoizable = false, .atm = {}});
+  const auto* fwd_type = runtime.register_type({.name = "fwd", .memoizable = false, .atm = {}});
+  const auto* bdiv_type = runtime.register_type({.name = "bdiv", .memoizable = false, .atm = {}});
+  const auto* bmod_type = runtime.register_type(
+      {.name = "bmod", .memoizable = true, .atm = atm_params()});
+
+  Timer timer;
+  for (std::size_t kk = 0; kk < nb; ++kk) {
+    float* diag = matrix.at(kk, kk);
+    runtime.submit(lu0_type, [diag, bd] { lu0_kernel(diag, bd); },
+                   {rt::inout(diag, bd * bd)});
+    for (std::size_t jj = kk + 1; jj < nb; ++jj) {
+      float* col = matrix.at(kk, jj);
+      if (col == nullptr) continue;
+      runtime.submit(fwd_type, [diag, col, bd] { fwd_kernel(diag, col, bd); },
+                     {rt::in(static_cast<const float*>(diag), bd * bd),
+                      rt::inout(col, bd * bd)});
+    }
+    for (std::size_t ii = kk + 1; ii < nb; ++ii) {
+      float* row = matrix.at(ii, kk);
+      if (row == nullptr) continue;
+      runtime.submit(bdiv_type, [diag, row, bd] { bdiv_kernel(diag, row, bd); },
+                     {rt::in(static_cast<const float*>(diag), bd * bd),
+                      rt::inout(row, bd * bd)});
+    }
+    for (std::size_t ii = kk + 1; ii < nb; ++ii) {
+      const float* row = matrix.at(ii, kk);
+      if (row == nullptr) continue;
+      for (std::size_t jj = kk + 1; jj < nb; ++jj) {
+        const float* col = matrix.at(kk, jj);
+        if (col == nullptr) continue;
+        float* inner = matrix.ensure(ii, jj);  // allocate fill-in
+        runtime.submit(bmod_type,
+                       [row, col, inner, bd] { bmod_kernel(row, col, inner, bd); },
+                       {rt::in(row, bd * bd), rt::in(col, bd * bd),
+                        rt::inout(inner, bd * bd)});
+      }
+    }
+  }
+  runtime.taskwait();
+
+  RunResult result;
+  result.wall_seconds = timer.elapsed_s();
+  result.output = to_dense(matrix);
+  result.app_specific_error =
+      lu_residual(original, result.output, nb * bd);
+  result.app_memory_bytes = matrix.memory_bytes();
+  result.task_input_bytes = 3 * bd * bd * sizeof(float);
+  finalize_result(result, runtime, engine.get(), bmod_type, config);
+  return result;
+}
+
+}  // namespace atm::apps

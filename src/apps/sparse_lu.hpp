@@ -1,0 +1,59 @@
+// Sparse blocked LU decomposition (paper Table I, §IV-A): the BSC SparseLU
+// kernel — lu0 / fwd / bdiv / bmod tasks over an NB x NB grid of B x B
+// blocks, null blocks skipped, fill-in allocated on demand. ATM is applied
+// to `bmod`, "the most frequently called routine, which subtracts the
+// result of a row-column dot product from the elements of a vector".
+// Correctness uses the app-specific residual |A - L*U|^2 / |A|^2 (Eq. 4).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_registry.hpp"
+
+namespace atm::apps {
+
+struct SparseLuParams {
+  std::size_t nblocks = 10;    ///< NB blocks per dimension (paper: 20)
+  std::size_t block_dim = 40;  ///< B elements per block dimension (paper: 256)
+  double density = 0.35;       ///< fraction of non-null off-diagonal blocks
+  std::size_t pattern_pool = 4;///< distinct initial block patterns (redundancy)
+  std::uint64_t seed = 0x10dec0deULL;
+  std::uint32_t l_training = 5;   ///< Table II (preset-scaled)
+
+  [[nodiscard]] static SparseLuParams preset(Preset preset);
+};
+
+class SparseLuApp final : public App {
+ public:
+  explicit SparseLuApp(SparseLuParams params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "LU"; }
+  [[nodiscard]] std::string domain() const override { return "linear-algebra"; }
+  [[nodiscard]] std::string program_input_desc() const override;
+  [[nodiscard]] std::string task_input_types() const override { return "float"; }
+  [[nodiscard]] std::string memoized_task_type() const override { return "bmod"; }
+  [[nodiscard]] std::string correctness_target() const override { return "L*U - A"; }
+  [[nodiscard]] rt::AtmParams atm_params() const override {
+    return {.l_training = params_.l_training, .tau_max = 0.01};  // Table II
+  }
+
+  [[nodiscard]] RunResult run(const RunConfig& config) const override;
+
+  /// Eq. 4: the residual is computed inside run(); reference output unused.
+  [[nodiscard]] double program_error(const RunResult& reference,
+                                     const RunResult& result) const override;
+
+  [[nodiscard]] const SparseLuParams& params() const noexcept { return params_; }
+
+ private:
+  SparseLuParams params_;
+};
+
+// Block kernels (exposed for unit tests).
+void lu0_kernel(float* diag, std::size_t b) noexcept;
+void fwd_kernel(const float* diag, float* col, std::size_t b) noexcept;
+void bdiv_kernel(const float* diag, float* row, std::size_t b) noexcept;
+void bmod_kernel(const float* row, const float* col, float* inner,
+                 std::size_t b) noexcept;
+
+}  // namespace atm::apps

@@ -1,0 +1,120 @@
+// Shared infrastructure for the two stencil benchmarks (Gauss-Seidel and
+// Jacobi, Table I): a block-major 2D grid with per-block halo buffers, the
+// 5-point kernels, and the halo copy-task bodies ("neighboring columns and
+// rows are obtained via copy-tasks", §IV-A).
+//
+// The grid models the paper's heated room: walls emit at a constant
+// temperature (fixed halo boundary), the interior starts from a small pool
+// of random block patterns (the paper observes initialization redundancy
+// from RNG saturation), and heat diffuses inward — interior blocks stay
+// unchanged for many iterations, which is exactly the task redundancy ATM
+// harvests (§V-D).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/app_registry.hpp"
+#include "common/aligned_buffer.hpp"
+
+namespace atm::apps {
+
+struct StencilParams {
+  std::size_t grid_blocks = 8;   ///< blocks per dimension (paper: 32)
+  std::size_t block_dim = 96;    ///< elements per block dimension (paper: 1024)
+  unsigned iterations = 10;      ///< sweeps (paper: 20)
+  /// Relaxation sweeps performed inside one task (block-smoother style).
+  /// Keeps the compute-per-input-byte ratio of the paper's 4 MB blocks at
+  /// our scaled-down block sizes (see DESIGN.md substitutions).
+  unsigned inner_sweeps = 4;
+  float wall_temp = 100.0f;      ///< boundary emission temperature
+  std::size_t init_patterns = 8; ///< distinct random init patterns (redundancy)
+  std::uint32_t l_training = 40; ///< Table II (preset-scaled; Jacobi overridden)
+  std::uint64_t seed = 0x57e4c11ULL;
+
+  [[nodiscard]] static StencilParams preset(Preset preset);
+
+  [[nodiscard]] std::size_t matrix_dim() const noexcept {
+    return grid_blocks * block_dim;
+  }
+  [[nodiscard]] std::size_t block_cells() const noexcept {
+    return block_dim * block_dim;
+  }
+};
+
+/// Block-major float grid with 4 halo buffers per block.
+class BlockedGrid {
+ public:
+  BlockedGrid(std::size_t grid_blocks, std::size_t block_dim);
+
+  [[nodiscard]] float* block(std::size_t bi, std::size_t bj) noexcept {
+    return cells_.data() + (bi * gb_ + bj) * bd_ * bd_;
+  }
+  [[nodiscard]] const float* block(std::size_t bi, std::size_t bj) const noexcept {
+    return cells_.data() + (bi * gb_ + bj) * bd_ * bd_;
+  }
+
+  // Halo buffers of block (bi, bj): the neighbor edge values it consumes.
+  [[nodiscard]] float* halo_top(std::size_t bi, std::size_t bj) noexcept {
+    return halo_ptr(bi, bj, 0);
+  }
+  [[nodiscard]] float* halo_bottom(std::size_t bi, std::size_t bj) noexcept {
+    return halo_ptr(bi, bj, 1);
+  }
+  [[nodiscard]] float* halo_left(std::size_t bi, std::size_t bj) noexcept {
+    return halo_ptr(bi, bj, 2);
+  }
+  [[nodiscard]] float* halo_right(std::size_t bi, std::size_t bj) noexcept {
+    return halo_ptr(bi, bj, 3);
+  }
+
+  [[nodiscard]] std::size_t grid_blocks() const noexcept { return gb_; }
+  [[nodiscard]] std::size_t block_dim() const noexcept { return bd_; }
+
+  /// Fill interior blocks from a pool of `patterns` deterministic random
+  /// patterns and arm the wall halos at `wall_temp`.
+  void initialize(std::uint64_t seed, std::size_t patterns, float wall_temp);
+
+  /// Row-major global matrix as doubles (the correctness target).
+  [[nodiscard]] std::vector<double> flatten() const;
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return cells_.size_bytes() + halos_.size_bytes();
+  }
+
+ private:
+  [[nodiscard]] float* halo_ptr(std::size_t bi, std::size_t bj, std::size_t dir) noexcept {
+    return halos_.data() + ((bi * gb_ + bj) * 4 + dir) * bd_;
+  }
+
+  std::size_t gb_;
+  std::size_t bd_;
+  AlignedBuffer<float> cells_;
+  AlignedBuffer<float> halos_;
+};
+
+// --- task bodies -----------------------------------------------------------
+
+/// Gauss-Seidel in-place 5-point sweep of one block: cells are updated
+/// row-major, so north/west neighbors are already new while south/east are
+/// old — the classic GS ordering within the block. `sweeps` relaxations are
+/// applied back to back (block smoother).
+void stencil_sweep_inplace(float* block, const float* top, const float* bottom,
+                           const float* left, const float* right, std::size_t bd,
+                           unsigned sweeps = 1) noexcept;
+
+/// Jacobi 5-point sweep: reads `src` (+ halos) into `dst`, then applies
+/// `sweeps - 1` in-place smoothing passes on `dst` with the same halos.
+void stencil_sweep_jacobi(const float* src, const float* top, const float* bottom,
+                          const float* left, const float* right, float* dst,
+                          std::size_t bd, unsigned sweeps = 1) noexcept;
+
+/// Halo copy-task bodies: extract an edge row/column of `block` into `halo`.
+void copy_edge_row(const float* block, std::size_t row, float* halo,
+                   std::size_t bd) noexcept;
+void copy_edge_col(const float* block, std::size_t col, float* halo,
+                   std::size_t bd) noexcept;
+
+}  // namespace atm::apps

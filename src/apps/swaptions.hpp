@@ -1,0 +1,65 @@
+// Swaptions (paper Table I, §IV-A): an HJM-framework-style Monte-Carlo
+// swaption pricer. Each `HJM_Swaption_Blocking` task prices one swaption
+// from a ~376-byte record (parameters + forward-rate curve + volatility
+// curve + the MC seed, so tasks stay deterministic pure functions of their
+// declared inputs, §III-E).
+//
+// The PARSEC native input replicates swaption records; our generator
+// reproduces that: a few exact duplicates (static ATM's 7% reuse) plus
+// near-duplicates that differ only in low-order mantissa bytes — invisible
+// to a type-aware sampled key, which is how Dynamic ATM lifts reuse to ~20%
+// (§V-D), and the reason Swaptions' correctness collapses once p drops to
+// 12.5% (Fig. 5).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_registry.hpp"
+
+namespace atm::apps {
+
+/// Doubles per swaption record (47 doubles = 376 bytes, Table I).
+inline constexpr std::size_t kSwaptionRecordDoubles = 47;
+
+struct SwaptionsParams {
+  std::size_t num_swaptions = 256;  ///< paper: 512 (native scaled up)
+  std::size_t exact_dupes = 20;     ///< records byte-identical to a base
+  std::size_t perturbed = 56;       ///< records with sub-ulp-ish noise
+  std::size_t trials = 1'024;       ///< MC paths per swaption
+  std::size_t steps = 40;           ///< time steps per path
+  std::uint64_t seed = 0x5a71ULL;
+  std::uint32_t l_training = 15;  ///< Table II
+
+  [[nodiscard]] static SwaptionsParams preset(Preset preset);
+};
+
+class SwaptionsApp final : public App {
+ public:
+  explicit SwaptionsApp(SwaptionsParams params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "Swaptions"; }
+  [[nodiscard]] std::string domain() const override { return "financial analysis"; }
+  [[nodiscard]] std::string program_input_desc() const override;
+  [[nodiscard]] std::string task_input_types() const override { return "double"; }
+  [[nodiscard]] std::string memoized_task_type() const override {
+    return "HJM_Swaption_Blocking";
+  }
+  [[nodiscard]] std::string correctness_target() const override { return "Prices Vector"; }
+  [[nodiscard]] rt::AtmParams atm_params() const override {
+    return {.l_training = params_.l_training, .tau_max = 0.20};  // Table II: tau_max = 20%
+  }
+
+  [[nodiscard]] RunResult run(const RunConfig& config) const override;
+
+  [[nodiscard]] const SwaptionsParams& params() const noexcept { return params_; }
+
+ private:
+  SwaptionsParams params_;
+};
+
+/// Price one swaption record via the HJM-style MC simulation (exposed for
+/// tests; deterministic in (record, seed, trials, steps)).
+[[nodiscard]] double price_swaption(const double* record, std::uint64_t seed,
+                                    std::size_t trials, std::size_t steps) noexcept;
+
+}  // namespace atm::apps

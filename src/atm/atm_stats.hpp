@@ -1,0 +1,99 @@
+// Engine statistics: hit/miss counters, hash/copy timing, and the per-
+// creator reuse log behind Figure 9's cumulative-reuse curves and the
+// paper's "Reuse" metric (§IV-C: percentage of memoized tasks).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "runtime/task.hpp"
+
+namespace atm {
+
+/// Point-in-time copy of the counters (safe to read after a run).
+struct AtmStatsSnapshot {
+  std::uint64_t tht_hits = 0;          ///< steady-state THT hits (tasks bypassed)
+  std::uint64_t tht_misses = 0;
+  std::uint64_t ikt_hits = 0;          ///< tasks deferred onto an in-flight twin
+  std::uint64_t training_hits = 0;     ///< THT hits during training (still executed)
+  std::uint64_t training_failures = 0; ///< tau >= tau_max events (p doubled)
+  std::uint64_t blacklist_skips = 0;   ///< tasks skipped due to unstable outputs
+  std::uint64_t keys_computed = 0;
+  std::uint64_t hash_ns = 0;           ///< total time computing hash keys
+  std::uint64_t hash_bytes = 0;        ///< total bytes fed to the hash
+  std::uint64_t copy_out_ns = 0;       ///< THT->task and twin->task output copies
+  std::uint64_t update_ns = 0;         ///< task->THT snapshot insertion time
+
+  /// Reuse events in completion order: the creator task id whose stored
+  /// outputs satisfied a consumer (THT hit, IKT hit, or training hit).
+  std::vector<rt::TaskId> reuse_creators;
+
+  [[nodiscard]] std::uint64_t total_hits() const noexcept {
+    return tht_hits + ikt_hits;
+  }
+};
+
+/// Thread-safe counters used by the engine.
+class AtmStats {
+ public:
+  std::atomic<std::uint64_t> tht_hits{0};
+  std::atomic<std::uint64_t> tht_misses{0};
+  std::atomic<std::uint64_t> ikt_hits{0};
+  std::atomic<std::uint64_t> training_hits{0};
+  std::atomic<std::uint64_t> training_failures{0};
+  std::atomic<std::uint64_t> blacklist_skips{0};
+  std::atomic<std::uint64_t> keys_computed{0};
+  std::atomic<std::uint64_t> hash_ns{0};
+  std::atomic<std::uint64_t> hash_bytes{0};
+  std::atomic<std::uint64_t> copy_out_ns{0};
+  std::atomic<std::uint64_t> update_ns{0};
+
+  void log_reuse(rt::TaskId creator) {
+    std::lock_guard<std::mutex> lock(reuse_mutex_);
+    reuse_creators_.push_back(creator);
+  }
+
+  [[nodiscard]] AtmStatsSnapshot snapshot() const {
+    AtmStatsSnapshot s;
+    s.tht_hits = tht_hits.load();
+    s.tht_misses = tht_misses.load();
+    s.ikt_hits = ikt_hits.load();
+    s.training_hits = training_hits.load();
+    s.training_failures = training_failures.load();
+    s.blacklist_skips = blacklist_skips.load();
+    s.keys_computed = keys_computed.load();
+    s.hash_ns = hash_ns.load();
+    s.hash_bytes = hash_bytes.load();
+    s.copy_out_ns = copy_out_ns.load();
+    s.update_ns = update_ns.load();
+    {
+      std::lock_guard<std::mutex> lock(reuse_mutex_);
+      s.reuse_creators = reuse_creators_;
+    }
+    return s;
+  }
+
+  void reset() {
+    tht_hits = 0;
+    tht_misses = 0;
+    ikt_hits = 0;
+    training_hits = 0;
+    training_failures = 0;
+    blacklist_skips = 0;
+    keys_computed = 0;
+    hash_ns = 0;
+    hash_bytes = 0;
+    copy_out_ns = 0;
+    update_ns = 0;
+    std::lock_guard<std::mutex> lock(reuse_mutex_);
+    reuse_creators_.clear();
+  }
+
+ private:
+  mutable std::mutex reuse_mutex_;
+  std::vector<rt::TaskId> reuse_creators_;
+};
+
+}  // namespace atm

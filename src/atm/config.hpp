@@ -1,0 +1,80 @@
+// ATM engine configuration: the modes and sizing knobs evaluated in the
+// paper (Static/Dynamic ATM, the Oracle fixed-p configurations, THT sizing
+// N/M of §IV-B, IKT on/off, type-aware sampling of §III-C).
+#pragma once
+
+#include <cstdint>
+
+namespace atm {
+
+/// Operating mode of the memoization engine.
+enum class AtmMode : std::uint8_t {
+  Off,     ///< baseline: no memoization (speedup denominators, Eq. 2)
+  Static,  ///< p = 100%: exact memoization only (paper "Static ATM")
+  Dynamic, ///< training phase picks p automatically (paper "Dynamic ATM")
+  FixedP,  ///< constant caller-chosen p, no training (the Oracle runs)
+};
+
+[[nodiscard]] constexpr const char* atm_mode_name(AtmMode m) noexcept {
+  switch (m) {
+    case AtmMode::Off: return "Off";
+    case AtmMode::Static: return "Static";
+    case AtmMode::Dynamic: return "Dynamic";
+    case AtmMode::FixedP: return "FixedP";
+  }
+  return "?";
+}
+
+/// Smallest selected-input percentage explored by Dynamic ATM's training
+/// phase: p = 2^-15 (paper §III-D), i.e. 15 doublings to reach 100%.
+inline constexpr double kMinP = 1.0 / 32768.0;
+/// Number of distinct p configurations (2^-15 ... 2^0).
+inline constexpr unsigned kPConfigs = 16;
+
+/// THT replacement policy. The paper uses FIFO ("the oldest task is
+/// evicted"); LRU is provided for the ablation study — it requires an
+/// exclusive bucket lock on every hit, giving up the paper's parallel-read
+/// bucket design.
+enum class EvictionPolicy : std::uint8_t { Fifo, Lru };
+
+struct AtmConfig {
+  AtmMode mode = AtmMode::Static;
+
+  /// log2 of the THT bucket count (the paper's N; N=8 by default, §IV-B).
+  unsigned log2_buckets = 8;
+  /// Entries per THT bucket (the paper's M; 128 covers kmeans, §IV-B).
+  unsigned bucket_capacity = 128;
+
+  /// Enable the In-flight Key Table (short reuse distances, §III-A).
+  bool use_ikt = true;
+  /// Type-aware input selection: rank bytes by significance before
+  /// shuffling (§III-C). Irrelevant at p = 100%.
+  bool type_aware = true;
+
+  /// The constant p used in FixedP mode (ignored otherwise).
+  double fixed_p = 1.0;
+
+  /// Seed for the per-task-type index shuffles (deterministic by default).
+  std::uint64_t shuffle_seed = 0x5eedULL;
+
+  /// Snapshot-arena bytes pre-faulted at engine construction. Keeps kernel
+  /// first-touch page faults out of the measured run; recycled on eviction.
+  std::size_t arena_reserve_bytes = std::size_t{8} << 20;
+
+  /// The paper's rejected "original approach" (§III-E), reproduced for the
+  /// ablation: store the complete inputs alongside exact (p = 100%) entries
+  /// and byte-compare them on every hit, eliminating hash false positives
+  /// at the cost of doubled memory and a full input read per hit. The paper
+  /// found "the obtained results did not justify such a complex approach".
+  bool verify_full_inputs = false;
+
+  /// THT replacement policy (paper: FIFO).
+  EvictionPolicy eviction = EvictionPolicy::Fifo;
+
+  /// Safety valve for Dynamic mode: end training unconditionally after this
+  /// many executed tasks of a type (0 = no cap). The paper trains with at
+  /// most ~5% of the tasks; apps pass explicit L_training instead.
+  std::uint64_t training_task_cap = 0;
+};
+
+}  // namespace atm

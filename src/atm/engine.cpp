@@ -1,0 +1,238 @@
+#include "atm/engine.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "atm/error_metric.hpp"
+#include "atm/hash_key.hpp"
+#include "common/timing.hpp"
+
+namespace atm {
+
+AtmEngine::AtmEngine(AtmConfig config)
+    : config_(config),
+      tht_(config.log2_buckets, config.bucket_capacity, config.arena_reserve_bytes,
+           config.verify_full_inputs, config.eviction),
+      ikt_(),
+      sampler_(config.type_aware, config.shuffle_seed) {}
+
+void AtmEngine::on_attach(rt::Runtime& runtime) { runtime_ = &runtime; }
+
+TrainingController& AtmEngine::controller(const rt::TaskType& type) {
+  std::lock_guard<std::mutex> lock(controllers_mutex_);
+  auto it = controllers_.find(type.id());
+  if (it != controllers_.end()) return *it->second;
+
+  std::unique_ptr<TrainingController> ctl;
+  switch (config_.mode) {
+    case AtmMode::Static:
+      ctl = TrainingController::make_steady(1.0);
+      break;
+    case AtmMode::FixedP:
+      ctl = TrainingController::make_steady(config_.fixed_p);
+      break;
+    case AtmMode::Dynamic:
+    case AtmMode::Off:
+      ctl = std::make_unique<TrainingController>(type.atm_params(), kMinP,
+                                                 config_.training_task_cap);
+      break;
+  }
+  auto [ins, ok] = controllers_.emplace(type.id(), std::move(ctl));
+  (void)ok;
+  return *ins->second;
+}
+
+std::uint64_t AtmEngine::key_seed(std::uint32_t type_id,
+                                  const InputLayout& layout) const noexcept {
+  // Bind the key space to (type, layout): equal byte patterns of different
+  // task types or shapes cannot alias in the THT.
+  return splitmix64(config_.shuffle_seed ^
+                    (static_cast<std::uint64_t>(type_id) * 0x9e3779b97f4a7c15ull) ^
+                    layout.fingerprint());
+}
+
+rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size_t lane) {
+  if (config_.mode == AtmMode::Off) return Decision::Execute;
+  assert(task.type != nullptr);
+  const rt::TaskType& type = *task.type;
+  TrainingController& ctl = controller(type);
+
+  // Chaotic outputs identified during training are never memoized (§III-D);
+  // skip the hash as well — the key would go unused.
+  if (ctl.is_blacklisted(task)) {
+    stats_.blacklist_skips.fetch_add(1, std::memory_order_relaxed);
+    return Decision::Execute;
+  }
+
+  const double p = ctl.current_p();
+  const InputLayout layout = InputLayout::from_task(task);
+  const auto& order = sampler_.order_for(type.id(), layout);
+
+  const std::uint64_t h0 = now_ns();
+  const KeyResult key = compute_key(task, order, p, key_seed(type.id(), layout));
+  const std::uint64_t h1 = now_ns();
+  if (runtime_ != nullptr) {
+    runtime_->tracer().record(lane, rt::TraceState::HashKey, h0, h1);
+  }
+  stats_.keys_computed.fetch_add(1, std::memory_order_relaxed);
+  stats_.hash_ns.fetch_add(h1 - h0, std::memory_order_relaxed);
+  stats_.hash_bytes.fetch_add(key.bytes_hashed, std::memory_order_relaxed);
+
+  task.atm_key = key.key;
+  task.atm_p = p;
+  task.atm_key_valid = true;
+
+  if (ctl.phase() == TrainingPhase::Steady) {
+    rt::TaskId creator = 0;
+    std::uint64_t c0 = 0, c1 = 0;
+    if (tht_.lookup_and_copy(type.id(), key.key, p, task, &creator, &c0, &c1)) {
+      if (runtime_ != nullptr) {
+        runtime_->tracer().record(lane, rt::TraceState::Memoize, c0, c1);
+      }
+      stats_.copy_out_ns.fetch_add(c1 - c0, std::memory_order_relaxed);
+      stats_.tht_hits.fetch_add(1, std::memory_order_relaxed);
+      stats_.log_reuse(creator);
+      return Decision::Hit;
+    }
+    stats_.tht_misses.fetch_add(1, std::memory_order_relaxed);
+
+    if (config_.use_ikt) {
+      const auto res =
+          ikt_.register_or_attach(type.id(), key.key, p, &task, /*allow_attach=*/true);
+      if (res == InFlightKeyTable::RegisterResult::AttachedToTwin) {
+        stats_.ikt_hits.fetch_add(1, std::memory_order_relaxed);
+        return Decision::Deferred;
+      }
+      // Registered => we own the key while executing. TwinBusy cannot
+      // happen on the attach path (shapes matched twins attach), but if it
+      // did the task simply executes unregistered — always safe.
+    }
+    return Decision::Execute;
+  }
+
+  // --- Training phase (Dynamic ATM): emulate memoization, then execute ---
+  ctl.note_trained_task();
+  OutputSnapshot snapshot;
+  rt::TaskId creator = 0;
+  if (tht_.lookup_snapshot(type.id(), key.key, p, &snapshot, &creator)) {
+    if (snapshot.matches_shape(task)) {
+      stats_.training_hits.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(checks_mutex_);
+      pending_checks_.emplace(&task, PendingCheck{std::move(snapshot), creator});
+    }
+  }
+  if (config_.use_ikt) {
+    // Register as in-flight so steady-state twins could defer on us, but
+    // never attach ourselves: training tasks must execute to be measured.
+    ikt_.register_or_attach(type.id(), key.key, p, &task, /*allow_attach=*/false);
+  }
+  return Decision::Execute;
+}
+
+void AtmEngine::on_task_executed(rt::Task& task, std::size_t lane) {
+  if (config_.mode == AtmMode::Off || !task.atm_key_valid) return;
+  const rt::TaskType& type = *task.type;
+  TrainingController& ctl = controller(type);
+
+  // 1. Training verification: compare the fresh outputs against the
+  //    snapshot the approximation would have delivered.
+  bool had_check = false;
+  PendingCheck check;
+  {
+    std::lock_guard<std::mutex> lock(checks_mutex_);
+    auto it = pending_checks_.find(&task);
+    if (it != pending_checks_.end()) {
+      check = std::move(it->second);
+      pending_checks_.erase(it);
+      had_check = true;
+    }
+  }
+  if (had_check) {
+    const double tau = task_output_tau(task, check.snapshot);
+    if (tau >= ctl.params().tau_max) {
+      stats_.training_failures.fetch_add(1, std::memory_order_relaxed);
+      ctl.blacklist_outputs(task);
+    }
+    ctl.report_trained(tau);
+  }
+
+  // 2. updateTHT: store the computed outputs under (key, p).
+  const std::uint64_t u0 = now_ns();
+  tht_.insert(type.id(), task.atm_key, task.atm_p, task);
+  const std::uint64_t u1 = now_ns();
+  if (runtime_ != nullptr) {
+    runtime_->tracer().record(lane, rt::TraceState::Memoize, u0, u1);
+  }
+  stats_.update_ns.fetch_add(u1 - u0, std::memory_order_relaxed);
+
+  // 3. Retire from the IKT and fulfill postponed copies: every consumer
+  //    that deferred on us gets our outputs and completes now.
+  if (config_.use_ikt) {
+    const auto pending = ikt_.retire(&task);
+    for (rt::Task* consumer : pending) {
+      const std::uint64_t c0 = now_ns();
+      copy_outputs(task, *consumer);
+      const std::uint64_t c1 = now_ns();
+      if (runtime_ != nullptr) {
+        runtime_->tracer().record(lane, rt::TraceState::Memoize, c0, c1);
+      }
+      stats_.copy_out_ns.fetch_add(c1 - c0, std::memory_order_relaxed);
+      stats_.log_reuse(task.id);
+      if (runtime_ != nullptr) {
+        runtime_->complete_without_execution(*consumer, /*via_ikt=*/true);
+      }
+    }
+  }
+}
+
+void AtmEngine::copy_outputs(const rt::Task& producer, rt::Task& consumer) noexcept {
+  std::size_t ci = 0;
+  auto next_out = [](const rt::Task& t, std::size_t& i) -> const rt::DataAccess* {
+    while (i < t.accesses.size()) {
+      const auto& a = t.accesses[i++];
+      if (a.is_output()) return &a;
+    }
+    return nullptr;
+  };
+  std::size_t pi = 0;
+  for (;;) {
+    const auto* src = next_out(producer, pi);
+    const auto* dst = next_out(consumer, ci);
+    if (src == nullptr || dst == nullptr) return;
+    // Shapes were validated at attach time; memmove tolerates aliasing.
+    std::memmove(dst->ptr, src->ptr, dst->bytes);
+  }
+}
+
+double AtmEngine::current_p(const rt::TaskType& type) { return controller(type).current_p(); }
+
+TrainingPhase AtmEngine::phase(const rt::TaskType& type) { return controller(type).phase(); }
+
+std::vector<double> AtmEngine::p_history(const rt::TaskType& type) {
+  return controller(type).p_history();
+}
+
+std::size_t AtmEngine::blacklist_size(const rt::TaskType& type) {
+  return controller(type).blacklist_size();
+}
+
+std::size_t AtmEngine::memory_bytes() const {
+  std::size_t n = tht_.memory_bytes() + ikt_.memory_bytes() + sampler_.memory_bytes();
+  {
+    std::lock_guard<std::mutex> lock(controllers_mutex_);
+    for (const auto& [id, ctl] : controllers_) {
+      (void)id;
+      n += ctl->memory_bytes();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(checks_mutex_);
+    for (const auto& [task, check] : pending_checks_) {
+      (void)task;
+      n += check.snapshot.total_bytes();
+    }
+  }
+  return n;
+}
+
+}  // namespace atm

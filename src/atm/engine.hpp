@@ -1,0 +1,92 @@
+// The ATM engine: the MemoizationHook implementation that realizes the
+// paper's Figure 1 pipeline on top of the runtime.
+//
+//   ready task ──► blacklist check ──► hash key (sampled inputs, current p)
+//        │
+//        ├─ steady state: THT lookup ── hit ──► copyOuts()          => Hit
+//        │                 miss │
+//        │                      └─ IKT lookup ─ twin in flight ──►
+//        │                            postponeCopyOuts()            => Deferred
+//        │                            miss ──► register in IKT      => Execute
+//        │
+//        └─ training (Dynamic): THT hit => remember snapshot, still Execute;
+//           after execution compare tau against tau_max, double p on
+//           failure, blacklist chaotic outputs, count successes.
+//
+//   executed task ──► verify training check ──► updateTHT&IKT() ──►
+//        fulfill postponed copies ──► complete deferred consumers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "atm/atm_stats.hpp"
+#include "atm/config.hpp"
+#include "atm/ikt.hpp"
+#include "atm/input_sampler.hpp"
+#include "atm/tht.hpp"
+#include "atm/training.hpp"
+#include "runtime/runtime.hpp"
+
+namespace atm {
+
+class AtmEngine final : public rt::MemoizationHook {
+ public:
+  explicit AtmEngine(AtmConfig config);
+  ~AtmEngine() override = default;
+
+  AtmEngine(const AtmEngine&) = delete;
+  AtmEngine& operator=(const AtmEngine&) = delete;
+
+  // --- rt::MemoizationHook ---
+  Decision on_task_ready(rt::Task& task, std::size_t lane) override;
+  void on_task_executed(rt::Task& task, std::size_t lane) override;
+  void on_attach(rt::Runtime& runtime) override;
+
+  // --- observability ---
+  [[nodiscard]] const AtmConfig& config() const noexcept { return config_; }
+  [[nodiscard]] AtmStatsSnapshot stats() const { return stats_.snapshot(); }
+  void reset_stats() { stats_.reset(); }
+
+  [[nodiscard]] TaskHistoryTable& tht() noexcept { return tht_; }
+  [[nodiscard]] InFlightKeyTable& ikt() noexcept { return ikt_; }
+  [[nodiscard]] InputSampler& sampler() noexcept { return sampler_; }
+
+  /// Current selected-input percentage of a type (the star of Figure 5).
+  [[nodiscard]] double current_p(const rt::TaskType& type);
+  [[nodiscard]] TrainingPhase phase(const rt::TaskType& type);
+  [[nodiscard]] std::vector<double> p_history(const rt::TaskType& type);
+  [[nodiscard]] std::size_t blacklist_size(const rt::TaskType& type);
+
+  /// Resident ATM memory: THT + IKT + sampler caches + controllers
+  /// (Table III's overhead numerator).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  struct PendingCheck {
+    OutputSnapshot snapshot;
+    rt::TaskId creator = 0;
+  };
+
+  TrainingController& controller(const rt::TaskType& type);
+  [[nodiscard]] std::uint64_t key_seed(std::uint32_t type_id,
+                                       const InputLayout& layout) const noexcept;
+  static void copy_outputs(const rt::Task& producer, rt::Task& consumer) noexcept;
+
+  AtmConfig config_;
+  rt::Runtime* runtime_ = nullptr;
+  TaskHistoryTable tht_;
+  InFlightKeyTable ikt_;
+  InputSampler sampler_;
+  AtmStats stats_;
+
+  mutable std::mutex controllers_mutex_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<TrainingController>> controllers_;
+
+  mutable std::mutex checks_mutex_;
+  std::unordered_map<const rt::Task*, PendingCheck> pending_checks_;
+};
+
+}  // namespace atm

@@ -1,0 +1,76 @@
+#include "atm/hash_key.hpp"
+
+#include "atm/input_sampler.hpp"
+
+namespace atm {
+
+namespace {
+
+/// Resolve a global byte index in the concatenated-inputs view to a concrete
+/// byte. Tasks have a handful of regions, so a linear scan beats binary
+/// search here.
+struct ConcatView {
+  struct Piece {
+    const std::uint8_t* data;
+    std::size_t begin;  // global offset of first byte
+    std::size_t end;
+  };
+  std::vector<Piece> pieces;
+
+  explicit ConcatView(const rt::Task& task) {
+    std::size_t off = 0;
+    for (const auto& a : task.accesses) {
+      if (!a.is_input()) continue;
+      pieces.push_back({static_cast<const std::uint8_t*>(a.ptr), off, off + a.bytes});
+      off += a.bytes;
+    }
+  }
+
+  [[nodiscard]] std::uint8_t at(std::size_t global) const noexcept {
+    for (const auto& p : pieces) {
+      if (global < p.end) return p.data[global - p.begin];
+    }
+    return 0;  // unreachable for valid indexes
+  }
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return pieces.empty() ? 0 : pieces.back().end;
+  }
+};
+
+}  // namespace
+
+KeyResult compute_key(const rt::Task& task, const std::vector<std::uint32_t>& order,
+                      double p, std::uint64_t seed) {
+  HashStream stream(seed);
+
+  if (p >= 1.0) {
+    // Static ATM / p = 100%: stream whole regions, no gather.
+    std::size_t total = 0;
+    for (const auto& a : task.accesses) {
+      if (!a.is_input()) continue;
+      stream.update(a.const_bytes());
+      total += a.bytes;
+    }
+    return {stream.finalize(), total};
+  }
+
+  const ConcatView view(task);
+  const std::size_t count = selection_count(view.total(), p);
+  // Gather selected bytes into a small staging buffer so the hash core can
+  // consume whole blocks; the scattered reads dominate anyway (the paper
+  // observes hash-key computation is memory-bound, §V-C).
+  std::uint8_t staging[512];
+  std::size_t fill = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    staging[fill++] = view.at(order[i]);
+    if (fill == sizeof staging) {
+      stream.update(std::span<const std::uint8_t>(staging, fill));
+      fill = 0;
+    }
+  }
+  if (fill != 0) stream.update(std::span<const std::uint8_t>(staging, fill));
+  return {stream.finalize(), count};
+}
+
+}  // namespace atm

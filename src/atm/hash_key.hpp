@@ -1,0 +1,31 @@
+// Hash-key computation over the selected subset of a task's input bytes
+// (paper §III-B): gathers the bytes named by the shuffled index prefix and
+// digests them into the 8-byte key stored in the THT/IKT.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "runtime/task.hpp"
+
+namespace atm {
+
+struct KeyResult {
+  HashKey key = 0;
+  std::size_t bytes_hashed = 0;
+};
+
+/// Compute the hash key of `task` using percentage `p` of its input bytes,
+/// in the (cached) shuffled `order`. `seed` should bind the key space to the
+/// task type + layout so equal byte patterns of unrelated types cannot
+/// collide structurally.
+///
+/// Fast path: at p >= 1 every byte participates, so regions are streamed
+/// contiguously (no gather) — the digest differs from the gathered one, but
+/// THT entries store p and only match keys computed with the same p.
+[[nodiscard]] KeyResult compute_key(const rt::Task& task,
+                                    const std::vector<std::uint32_t>& order, double p,
+                                    std::uint64_t seed);
+
+}  // namespace atm

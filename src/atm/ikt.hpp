@@ -1,0 +1,60 @@
+// In-flight Key Table (paper §III-A).
+//
+// Maps the hash keys of tasks that are currently executing. A ready task
+// whose key matches an in-flight twin cannot be served yet — instead it
+// registers a postponed output copy (postponeCopyOuts()): when the twin
+// finishes, it copies its outputs into every attached consumer and the
+// runtime completes them without execution.
+//
+// The table holds at most one entry per executing task (≈ thread count), so
+// a single lock with linear scans is both simple and fast — exactly the
+// paper's design ("accesses to this structure are very fast ... we protect
+// the IKT with a single lock").
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "runtime/task.hpp"
+
+namespace atm {
+
+class InFlightKeyTable {
+ public:
+  enum class RegisterResult : std::uint8_t {
+    Registered,      ///< task is now the in-flight owner of its key
+    AttachedToTwin,  ///< a twin is executing; task deferred onto it
+    TwinBusy,        ///< twin in flight but attach not possible/allowed
+  };
+
+  /// Atomically: if (type,key,p) has an in-flight owner and `allow_attach`,
+  /// attach `task` as a postponed copy consumer; otherwise register `task`
+  /// as owner. Training-phase callers pass allow_attach=false (tasks must
+  /// execute to be measured, §III-D).
+  RegisterResult register_or_attach(std::uint32_t type_id, HashKey key, double p,
+                                    rt::Task* task, bool allow_attach);
+
+  /// Remove `owner`'s entry (if any) and hand back the consumers waiting for
+  /// its outputs. No-op (empty result) if the task never registered.
+  [[nodiscard]] std::vector<rt::Task*> retire(const rt::Task* owner);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t pending_count() const;
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  struct Entry {
+    std::uint32_t type_id = 0;
+    HashKey key = 0;
+    double p = 1.0;
+    rt::Task* owner = nullptr;
+    std::vector<rt::Task*> pending;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace atm

@@ -1,0 +1,104 @@
+#include "atm/input_sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "common/rng.hpp"
+
+namespace atm {
+
+std::uint64_t InputLayout::fingerprint() const noexcept {
+  std::uint64_t h = 0x1a7a5ced5eedULL;
+  for (const auto& r : regions) {
+    h = splitmix64(h ^ r.bytes);
+    h = splitmix64(h ^ static_cast<std::uint64_t>(r.elem));
+  }
+  return h;
+}
+
+InputLayout InputLayout::from_task(const rt::Task& task) {
+  InputLayout layout;
+  for (const auto& a : task.accesses) {
+    if (a.is_input()) layout.regions.push_back({a.bytes, a.elem});
+  }
+  return layout;
+}
+
+std::size_t selection_count(std::size_t total_bytes, double p) noexcept {
+  if (total_bytes == 0) return 0;
+  if (p >= 1.0) return total_bytes;
+  const auto n = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(total_bytes) * p));
+  return std::max<std::size_t>(1, std::min(n, total_bytes));
+}
+
+const std::vector<std::uint32_t>& InputSampler::order_for(std::uint32_t type_id,
+                                                          const InputLayout& layout) {
+  const auto key = std::make_pair(type_id, layout.fingerprint());
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return *it->second;
+  }
+  auto order = std::make_unique<std::vector<std::uint32_t>>(build_order(type_id, layout));
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto [it, inserted] = cache_.emplace(key, std::move(order));
+  (void)inserted;  // a racing builder may have won; theirs is equivalent
+  return *it->second;
+}
+
+std::vector<std::uint32_t> InputSampler::build_order(std::uint32_t type_id,
+                                                     const InputLayout& layout) const {
+  const std::size_t total = layout.total_bytes();
+  std::vector<std::uint32_t> order(total);
+  Rng rng(splitmix64(seed_ ^ (static_cast<std::uint64_t>(type_id) << 32) ^
+                     layout.fingerprint()));
+
+  if (!type_aware_) {
+    for (std::size_t i = 0; i < total; ++i) order[i] = static_cast<std::uint32_t>(i);
+    rng.shuffle(order);
+    return order;
+  }
+
+  // Type-aware (§III-C): rank 0 = most significant byte of each element.
+  // Little-endian: byte (elem_size-1) within an element is the MSB, so
+  // rank = elem_size - 1 - offset_within_element.
+  std::vector<std::vector<std::uint32_t>> by_rank(8);
+  std::size_t base = 0;
+  for (const auto& region : layout.regions) {
+    const std::size_t esize = rt::elem_size(region.elem);
+    for (std::size_t off = 0; off < region.bytes; ++off) {
+      const std::size_t within = off % esize;
+      // Trailing partial element (region not a multiple of the element
+      // size): treat bytes positionally, same formula still applies.
+      const std::size_t rank = esize - 1 - within;
+      by_rank[rank].push_back(static_cast<std::uint32_t>(base + off));
+    }
+    base += region.bytes;
+  }
+  order.clear();
+  order.reserve(total);
+  for (auto& bucket : by_rank) {
+    rng.shuffle(bucket);
+    order.insert(order.end(), bucket.begin(), bucket.end());
+  }
+  return order;
+}
+
+std::size_t InputSampler::memory_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [key, vec] : cache_) {
+    (void)key;
+    n += vec->capacity() * sizeof(std::uint32_t) + sizeof(*vec);
+  }
+  return n;
+}
+
+std::size_t InputSampler::cache_entries() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return cache_.size();
+}
+
+}  // namespace atm

@@ -1,0 +1,82 @@
+// Hash-key input selection (paper §III-B and §III-C).
+//
+// The task's data inputs are viewed as one concatenated vector of N bytes.
+// A vector of N indexes is shuffled once per (task type, input layout) and
+// cached; every key computation then selects the first ceil(N*p) indexes.
+//
+// Plain mode shuffles all indexes uniformly. Type-aware mode first orders
+// bytes by significance rank (most significant byte of every element first)
+// and shuffles within each rank, so the selected prefix always covers signs
+// and exponents before mantissa tails — the paper's §III-C refinement.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "runtime/task.hpp"
+
+namespace atm {
+
+/// Shape of a task's concatenated inputs: sizes and element types of the
+/// input regions in declaration order. Two tasks share a shuffled index
+/// vector iff their type and layout fingerprints match.
+struct InputLayout {
+  struct Region {
+    std::size_t bytes = 0;
+    rt::ElemType elem = rt::ElemType::U8;
+  };
+  std::vector<Region> regions;
+
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : regions) n += r.bytes;
+    return n;
+  }
+
+  /// Order-sensitive fingerprint for cache keying.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
+  /// Input regions (In + InOut) of a task, in declaration order.
+  [[nodiscard]] static InputLayout from_task(const rt::Task& task);
+};
+
+/// Number of selected bytes for a given total and percentage p: the first
+/// ceil(total*p) shuffled indexes, at least 1 (§III-B; p in (0, 1]).
+[[nodiscard]] std::size_t selection_count(std::size_t total_bytes, double p) noexcept;
+
+class InputSampler {
+ public:
+  InputSampler(bool type_aware, std::uint64_t seed)
+      : type_aware_(type_aware), seed_(seed) {}
+
+  /// The shuffled byte-index order for (type, layout). Built on first use
+  /// ("we shuffle the vector of indexes the first time a task type is
+  /// executed and store it in the runtime system"), then shared read-only.
+  const std::vector<std::uint32_t>& order_for(std::uint32_t type_id,
+                                              const InputLayout& layout);
+
+  [[nodiscard]] bool type_aware() const noexcept { return type_aware_; }
+
+  /// Bytes held by cached index vectors (part of ATM's Table III footprint).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Cached (type, layout) combinations.
+  [[nodiscard]] std::size_t cache_entries() const;
+
+ private:
+  [[nodiscard]] std::vector<std::uint32_t> build_order(std::uint32_t type_id,
+                                                       const InputLayout& layout) const;
+
+  bool type_aware_;
+  std::uint64_t seed_;
+  mutable std::shared_mutex mutex_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>,
+           std::unique_ptr<std::vector<std::uint32_t>>>
+      cache_;
+};
+
+}  // namespace atm

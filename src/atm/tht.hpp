@@ -1,0 +1,161 @@
+// Task History Table (paper §III-A, Figure 1).
+//
+// 2^N buckets indexed by the low N bits of the hash key; each bucket holds
+// up to M {key, p, outputs} entries with FIFO eviction and is protected by a
+// shared_mutex: parallel reads (lookups copy outputs under the shared lock),
+// exclusive writes (insert/evict). Entries record the p used to compute
+// their key (§III-D: Dynamic ATM must not match keys across p values) and
+// the creator task id (Figure 9's reuse attribution).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <vector>
+
+#include "atm/config.hpp"
+#include "common/buffer_arena.hpp"
+#include "common/hash.hpp"
+#include "runtime/task.hpp"
+
+namespace atm {
+
+/// Deep copy of a task's output regions ("data outputs have to be fully
+/// stored in the THT", §III-A).
+struct OutputSnapshot {
+  struct Region {
+    std::vector<std::uint8_t> data;
+    rt::ElemType elem = rt::ElemType::U8;
+  };
+  std::vector<Region> regions;
+
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : regions) n += r.data.size();
+    return n;
+  }
+
+  /// Capture the current contents of `task`'s output regions.
+  [[nodiscard]] static OutputSnapshot capture(const rt::Task& task);
+
+  /// True when this snapshot's region sizes line up with `task`'s outputs.
+  [[nodiscard]] bool matches_shape(const rt::Task& task) const noexcept;
+
+  /// Write the snapshot into `task`'s output regions (copyOuts()).
+  void copy_to(rt::Task& task) const noexcept;
+};
+
+/// True when two tasks declare byte-identical output region shapes, so one
+/// may provide the other's outputs.
+[[nodiscard]] bool output_shapes_match(const rt::Task& a, const rt::Task& b) noexcept;
+
+class TaskHistoryTable {
+ public:
+  /// `log2_buckets` is the paper's N (0 => a single bucket); `bucket_capacity`
+  /// is the paper's M. Snapshot storage comes from a pre-faulted arena:
+  /// `arena_reserve` bytes are touched at construction (keeping page-fault
+  /// cost out of the measured run) and evicted buffers recycle.
+  /// `verify_full_inputs` stores the complete inputs of exact (p = 100%)
+  /// entries and byte-compares them on hit (the §III-E ablation);
+  /// `eviction` selects FIFO (paper) or LRU replacement.
+  TaskHistoryTable(unsigned log2_buckets, unsigned bucket_capacity,
+                   std::size_t arena_reserve = 0, bool verify_full_inputs = false,
+                   EvictionPolicy eviction = EvictionPolicy::Fifo);
+
+  /// Steady-state hit path: find (type, key, p) and copy the stored outputs
+  /// straight into `consumer`'s output regions under the bucket's shared
+  /// lock. On success fills `creator` and the copy interval [t0,t1] in ns.
+  bool lookup_and_copy(std::uint32_t type_id, HashKey key, double p, rt::Task& consumer,
+                       rt::TaskId* creator, std::uint64_t* copy_t0,
+                       std::uint64_t* copy_t1);
+
+  /// Training path: copy the stored snapshot out (the task will execute and
+  /// the engine compares the two afterwards).
+  bool lookup_snapshot(std::uint32_t type_id, HashKey key, double p, OutputSnapshot* out,
+                       rt::TaskId* creator) const;
+
+  /// Pure membership probe (tests, stats).
+  [[nodiscard]] bool contains(std::uint32_t type_id, HashKey key, double p) const;
+
+  /// Store `producer`'s outputs under (type, key, p); evicts per the
+  /// configured policy when the bucket is full. Duplicate (type, key, p)
+  /// inserts are skipped (the oldest entry wins, as with FIFO order).
+  void insert(std::uint32_t type_id, HashKey key, double p, const rt::Task& producer);
+
+  /// Hits whose full-input verification failed (hash false positives
+  /// caught by the §III-E check; paper §III-E observed none in practice).
+  [[nodiscard]] std::uint64_t verification_rejects() const noexcept {
+    return verification_rejects_.load();
+  }
+
+  void clear();
+
+  [[nodiscard]] std::size_t entry_count() const;
+  /// Bytes pinned by live entries: snapshots + entry/bucket overheads
+  /// (Table III accounting; arena slack is recyclable and reported
+  /// separately by reserved_bytes()).
+  [[nodiscard]] std::size_t memory_bytes() const;
+  /// Total arena slab bytes resident (>= memory pinned by snapshots).
+  [[nodiscard]] std::size_t reserved_bytes() const { return arena_.reserved_bytes(); }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_.load(); }
+  [[nodiscard]] unsigned bucket_count() const noexcept {
+    return static_cast<unsigned>(buckets_.size());
+  }
+  [[nodiscard]] unsigned bucket_capacity() const noexcept { return capacity_; }
+
+ private:
+  /// Arena-backed copy of a producer's output regions.
+  struct StoredRegion {
+    std::uint8_t* data = nullptr;
+    std::size_t bytes = 0;
+    rt::ElemType elem = rt::ElemType::U8;
+  };
+  struct Entry {
+    HashKey key = 0;
+    double p = 1.0;
+    std::uint32_t type_id = 0;
+    rt::TaskId creator = 0;
+    std::vector<StoredRegion> outputs;
+    std::vector<StoredRegion> inputs;  ///< only with verify_full_inputs
+
+    [[nodiscard]] std::size_t total_bytes() const noexcept {
+      std::size_t n = 0;
+      for (const auto& r : outputs) n += r.bytes;
+      for (const auto& r : inputs) n += r.bytes;
+      return n;
+    }
+    [[nodiscard]] bool matches_shape(const rt::Task& task) const noexcept;
+    [[nodiscard]] bool inputs_equal(const rt::Task& task) const noexcept;
+  };
+  struct Bucket {
+    mutable std::shared_mutex mutex;
+    std::deque<Entry> entries;
+  };
+
+  void release_entry(Entry& entry);
+
+  [[nodiscard]] Bucket& bucket_for(HashKey key) noexcept {
+    return buckets_[key & mask_];
+  }
+  [[nodiscard]] const Bucket& bucket_for(HashKey key) const noexcept {
+    return buckets_[key & mask_];
+  }
+
+  static bool entry_matches(const Entry& e, std::uint32_t type_id, HashKey key,
+                            double p) noexcept {
+    return e.key == key && e.type_id == type_id && e.p == p;
+  }
+
+  std::vector<Bucket> buckets_;
+  HashKey mask_;
+  unsigned capacity_;
+  bool verify_full_inputs_;
+  EvictionPolicy eviction_;
+  BufferArena arena_;
+  std::atomic<std::size_t> memory_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> verification_rejects_{0};
+};
+
+}  // namespace atm

@@ -1,0 +1,105 @@
+// Dynamic ATM's adaptive training phase (paper §III-D).
+//
+// Per task type:
+//   * start at p = 2^-15;
+//   * whenever an approximated task's Chebyshev error tau >= tau_max,
+//     double p (15 steps to reach 100%) and blacklist the task's output
+//     pointers (outputs with chaotic behaviour; Jacobi needs this);
+//   * once L_training tasks in a row approximate correctly at the current
+//     p, freeze p and enter the steady state.
+//
+// During training every task still executes, so correctness is measured
+// against ground truth at zero risk; speedups only start in steady state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "atm/config.hpp"
+#include "runtime/task.hpp"
+
+namespace atm {
+
+enum class TrainingPhase : std::uint8_t { Training, Steady };
+
+class TrainingController {
+ public:
+  /// Dynamic mode: train from kMinP with the type's parameters.
+  explicit TrainingController(rt::AtmParams params, double initial_p = kMinP,
+                              std::uint64_t task_cap = 0,
+                              TrainingPhase initial_phase = TrainingPhase::Training)
+      : params_(params), phase_(initial_phase), p_(initial_p), task_cap_(task_cap) {}
+
+  /// Static/FixedP modes: a controller already in steady state with the
+  /// given constant p (no training ever happens).
+  [[nodiscard]] static std::unique_ptr<TrainingController> make_steady(double p) {
+    return std::make_unique<TrainingController>(rt::AtmParams{}, p, 0,
+                                                TrainingPhase::Steady);
+  }
+
+  [[nodiscard]] TrainingPhase phase() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return phase_;
+  }
+
+  [[nodiscard]] double current_p() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return p_;
+  }
+
+  [[nodiscard]] const rt::AtmParams& params() const noexcept { return params_; }
+
+  /// Record the verification of one training-phase approximation.
+  /// Failure (tau >= tau_max) doubles p (capped at 100%) and resets the
+  /// success streak; L_training consecutive successes end training.
+  void report_trained(double tau);
+
+  /// Count an executed task of this type during training; trips the
+  /// optional task cap ("~5% of the tasks suffices", §IV-A).
+  void note_trained_task();
+
+  /// Record the output pointers of a task that failed verification: those
+  /// outputs behave chaotically and are never memoized again (§III-D).
+  void blacklist_outputs(const rt::Task& task);
+
+  /// True when any of the task's output pointers is blacklisted.
+  [[nodiscard]] bool is_blacklisted(const rt::Task& task) const;
+
+  [[nodiscard]] std::size_t blacklist_size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return unstable_outputs_.size();
+  }
+
+  /// Every p value the controller has visited (first = initial).
+  [[nodiscard]] std::vector<double> p_history() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return p_history_;
+  }
+
+  [[nodiscard]] std::uint64_t trained_tasks() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return trained_tasks_;
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sizeof(*this) + unstable_outputs_.size() * (sizeof(void*) + 32) +
+           p_history_.capacity() * sizeof(double);
+  }
+
+ private:
+  rt::AtmParams params_;
+  mutable std::mutex mutex_;
+  TrainingPhase phase_ = TrainingPhase::Training;
+  double p_;
+  std::uint32_t success_streak_ = 0;
+  std::uint64_t trained_tasks_ = 0;
+  std::uint64_t task_cap_ = 0;
+  std::vector<double> p_history_{};
+  std::set<const void*> unstable_outputs_;
+};
+
+}  // namespace atm

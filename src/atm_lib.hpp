@@ -1,0 +1,22 @@
+// Umbrella header: the public API of the ATM library.
+//
+// Quickstart:
+//   atm::rt::Runtime runtime({.num_threads = 4});
+//   atm::AtmEngine engine({.mode = atm::AtmMode::Static});
+//   runtime.attach_memoizer(&engine);
+//   const auto* type = runtime.register_type({.name = "price", .memoizable = true});
+//   runtime.submit(type, [=] { price(block); },
+//                  {atm::rt::in(block, n), atm::rt::out(prices, n)});
+//   runtime.taskwait();
+#pragma once
+
+#include "atm/atm_stats.hpp"    // IWYU pragma: export
+#include "atm/config.hpp"       // IWYU pragma: export
+#include "atm/engine.hpp"       // IWYU pragma: export
+#include "atm/error_metric.hpp" // IWYU pragma: export
+#include "atm/hash_key.hpp"     // IWYU pragma: export
+#include "atm/ikt.hpp"          // IWYU pragma: export
+#include "atm/input_sampler.hpp"// IWYU pragma: export
+#include "atm/tht.hpp"          // IWYU pragma: export
+#include "atm/training.hpp"     // IWYU pragma: export
+#include "runtime/runtime.hpp"  // IWYU pragma: export

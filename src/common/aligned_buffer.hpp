@@ -1,0 +1,74 @@
+// Cache-line aligned, zero-initialized buffers for application data blocks.
+// Stencil blocks and option arrays are allocated through this so that THT
+// output copies and task bodies see consistent alignment.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace atm {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Owning, 64-byte aligned array of trivially-copyable T. Movable, non-copyable.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() noexcept = default;
+
+  explicit AlignedBuffer(std::size_t count) : size_(count) {
+    if (count == 0) return;
+    const std::size_t bytes = (count * sizeof(T) + kCacheLineSize - 1) / kCacheLineSize *
+                              kCacheLineSize;
+    data_ = static_cast<T*>(::operator new(bytes, std::align_val_t(kCacheLineSize)));
+    for (std::size_t i = 0; i < count; ++i) new (data_ + i) T();
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { destroy(); }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return size_ * sizeof(T); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  void destroy() noexcept {
+    if (data_ != nullptr) {
+      for (std::size_t i = size_; i > 0; --i) data_[i - 1].~T();
+      ::operator delete(data_, std::align_val_t(kCacheLineSize));
+      data_ = nullptr;
+      size_ = 0;
+    }
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace atm

@@ -1,0 +1,39 @@
+// Environment-variable configuration helpers. Bench binaries run without
+// arguments (`for b in build/bench/*; do $b; done`), so workload scale and
+// thread counts are tuned via ATM_* environment variables instead.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace atm {
+
+/// Read an environment variable; empty string when unset.
+[[nodiscard]] inline std::string env_string(const char* name, const std::string& fallback = {}) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+/// Read an integer environment variable with a fallback.
+[[nodiscard]] inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+/// Read a double environment variable with a fallback.
+[[nodiscard]] inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+/// True when ATM_SCALE=paper: run the paper's full-size inputs instead of the
+/// container-friendly defaults.
+[[nodiscard]] inline bool paper_scale() { return env_string("ATM_SCALE") == "paper"; }
+
+}  // namespace atm

@@ -1,0 +1,11 @@
+#include "common/hash.hpp"
+
+namespace atm {
+
+HashKey hash_bytes(std::span<const std::uint8_t> bytes, std::uint64_t seed) noexcept {
+  HashStream stream(seed);
+  stream.update(bytes);
+  return stream.finalize();
+}
+
+}  // namespace atm

@@ -1,0 +1,171 @@
+// Jenkins lookup3-style hashing for ATM hash-key generation.
+//
+// The paper (Section III-B) uses Bob Jenkins' "hash function for hash table
+// lookup" to digest the selected subset of task input bytes into an 8-byte
+// key stored in the Task History Table. We implement a lookup3-style mixer
+// from scratch: 96-bit internal state, 12-byte blocks, the classic
+// mix()/final() avalanche schedules, and a 64-bit digest assembled from the
+// two final state words (the hashlittle2 convention).
+//
+// HashStream additionally supports incremental feeding so callers can hash
+// scattered (sampled) bytes without first materializing a gathered copy of
+// the full selection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace atm {
+
+/// 64-bit digest type used as the THT/IKT key ("8 bytes of storage", §III-B).
+using HashKey = std::uint64_t;
+
+namespace detail {
+constexpr std::uint32_t rot32(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+}  // namespace detail
+
+/// Incremental lookup3-style hasher.
+///
+/// Usage:
+///   HashStream h(seed);
+///   h.update(bytes);          // any number of times, any chunk sizes
+///   HashKey k = h.finalize(); // chunking does not affect the digest
+class HashStream {
+ public:
+  explicit HashStream(std::uint64_t seed = 0) noexcept { reset(seed); }
+
+  /// Re-arm the stream for a new message with the given seed.
+  void reset(std::uint64_t seed = 0) noexcept {
+    a_ = 0xdeadbeefu + static_cast<std::uint32_t>(seed);
+    b_ = 0xdeadbeefu + static_cast<std::uint32_t>(seed >> 32);
+    c_ = 0xdeadbeefu ^ static_cast<std::uint32_t>(seed * 0x9e3779b97f4a7c15ull >> 29);
+    buffered_ = 0;
+    total_len_ = 0;
+  }
+
+  /// Feed one byte.
+  void update(std::uint8_t byte) noexcept {
+    buf_[buffered_++] = byte;
+    ++total_len_;
+    if (buffered_ == kBlock) {
+      mix_block();
+      buffered_ = 0;
+    }
+  }
+
+  /// Feed a contiguous span of bytes.
+  void update(std::span<const std::uint8_t> bytes) noexcept {
+    const std::uint8_t* p = bytes.data();
+    std::size_t n = bytes.size();
+    total_len_ += n;
+    // Top up a partially filled block first.
+    if (buffered_ != 0) {
+      const std::size_t take = (n < kBlock - buffered_) ? n : kBlock - buffered_;
+      std::memcpy(buf_ + buffered_, p, take);
+      buffered_ += take;
+      p += take;
+      n -= take;
+      if (buffered_ == kBlock) {
+        mix_block();
+        buffered_ = 0;
+      }
+    }
+    // Whole blocks straight from the input (no staging copy).
+    while (n >= kBlock) {
+      mix_words(p);
+      p += kBlock;
+      n -= kBlock;
+    }
+    if (n != 0) {
+      std::memcpy(buf_, p, n);
+      buffered_ = n;
+    }
+  }
+
+  /// Produce the 64-bit digest. The stream may keep being updated afterwards
+  /// only after a reset().
+  [[nodiscard]] HashKey finalize() noexcept {
+    using detail::rot32;
+    std::uint32_t a = a_, b = b_, c = c_;
+    if (buffered_ != 0) {
+      std::uint8_t tail[kBlock] = {};
+      std::memcpy(tail, buf_, buffered_);
+      std::uint32_t k0, k1, k2;
+      std::memcpy(&k0, tail, 4);
+      std::memcpy(&k1, tail + 4, 4);
+      std::memcpy(&k2, tail + 8, 4);
+      a += k0;
+      b += k1;
+      c += k2;
+    }
+    // Bind the digest to the exact message length so that e.g. {0} and
+    // {0, 0} hash differently even though the padded tail block matches.
+    c ^= static_cast<std::uint32_t>(total_len_);
+    b += static_cast<std::uint32_t>(total_len_ >> 32);
+    // lookup3 final(): reverse-avalanche schedule.
+    c ^= b; c -= rot32(b, 14);
+    a ^= c; a -= rot32(c, 11);
+    b ^= a; b -= rot32(a, 25);
+    c ^= b; c -= rot32(b, 16);
+    a ^= c; a -= rot32(c, 4);
+    b ^= a; b -= rot32(a, 14);
+    c ^= b; c -= rot32(b, 24);
+    return (static_cast<std::uint64_t>(b) << 32) | c;
+  }
+
+  /// Number of bytes fed since the last reset().
+  [[nodiscard]] std::uint64_t message_length() const noexcept { return total_len_; }
+
+ private:
+  static constexpr std::size_t kBlock = 12;
+
+  void mix_block() noexcept { mix_words(buf_); }
+
+  void mix_words(const std::uint8_t* block) noexcept {
+    using detail::rot32;
+    std::uint32_t k0, k1, k2;
+    std::memcpy(&k0, block, 4);
+    std::memcpy(&k1, block + 4, 4);
+    std::memcpy(&k2, block + 8, 4);
+    a_ += k0;
+    b_ += k1;
+    c_ += k2;
+    // lookup3 mix(): 6-round forward avalanche.
+    a_ -= c_; a_ ^= rot32(c_, 4);  c_ += b_;
+    b_ -= a_; b_ ^= rot32(a_, 6);  a_ += c_;
+    c_ -= b_; c_ ^= rot32(b_, 8);  b_ += a_;
+    a_ -= c_; a_ ^= rot32(c_, 16); c_ += b_;
+    b_ -= a_; b_ ^= rot32(a_, 19); a_ += c_;
+    c_ -= b_; c_ ^= rot32(b_, 4);  b_ += a_;
+  }
+
+  std::uint32_t a_ = 0, b_ = 0, c_ = 0;
+  std::uint8_t buf_[kBlock] = {};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience: hash a contiguous byte range.
+[[nodiscard]] HashKey hash_bytes(std::span<const std::uint8_t> bytes,
+                                 std::uint64_t seed = 0) noexcept;
+
+/// One-shot convenience over raw memory.
+[[nodiscard]] inline HashKey hash_bytes(const void* data, std::size_t size,
+                                        std::uint64_t seed = 0) noexcept {
+  return hash_bytes(
+      std::span<const std::uint8_t>(static_cast<const std::uint8_t*>(data), size), seed);
+}
+
+/// splitmix64: used to derive per-task-type shuffle seeds from a name hash.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace atm

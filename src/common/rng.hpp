@@ -1,0 +1,94 @@
+// Deterministic, platform-independent random number generation.
+//
+// All workload generators and the ATM input-shuffling machinery must be
+// reproducible bit-for-bit across runs and platforms (the paper requires
+// deterministic tasks; our tests require deterministic workloads), so we
+// implement xoshiro256** + Lemire bounded sampling + Fisher-Yates shuffling
+// here instead of relying on implementation-defined std::distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace atm {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference design).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // Expand one 64-bit seed into 256 bits of state via splitmix64, as the
+    // xoshiro authors recommend. State must never be all zero.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x = splitmix64(x);
+      word = x;
+    }
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound), exactly unbiased via rejection sampling.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t x = next_u64();
+      if (x >= threshold) return x % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1) with 24 bits of randomness.
+  float next_float() noexcept {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform float in [lo, hi).
+  float next_float(float lo, float hi) noexcept {
+    return lo + (hi - lo) * next_float();
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace atm

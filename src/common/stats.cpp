@@ -1,0 +1,34 @@
+#include "common/stats.hpp"
+
+namespace atm {
+
+double geomean(const std::vector<double>& values) noexcept {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;  // geometric mean undefined; signal with 0
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(buckets ? buckets : 1)),
+      counts_(buckets ? buckets : 1, 0) {}
+
+void Histogram::add(double x) noexcept {
+  double idx = (x - lo_) / width_;
+  std::size_t i;
+  if (idx < 0.0) {
+    i = 0;
+  } else if (idx >= static_cast<double>(counts_.size())) {
+    i = counts_.size() - 1;
+  } else {
+    i = static_cast<std::size_t>(idx);
+  }
+  ++counts_[i];
+  ++total_;
+}
+
+}  // namespace atm

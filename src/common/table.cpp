@@ -1,0 +1,92 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace atm {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::add_separator() { rows_.emplace_back(); }
+
+std::string TablePrinter::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto print_rule = [&] {
+    out << '+';
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  print_rule();
+  print_cells(header_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_rule();
+    } else {
+      print_cells(row);
+    }
+  }
+  print_rule();
+  return out.str();
+}
+
+void TablePrinter::print(std::ostream& os) const { os << str(); }
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  return fmt_double(fraction * 100.0, precision) + "%";
+}
+
+std::string fmt_speedup(double v) { return fmt_double(v, 2) + "x"; }
+
+std::string fmt_bytes(std::size_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t u = 0;
+  while (v >= 1024.0 && u + 1 < std::size(units)) {
+    v /= 1024.0;
+    ++u;
+  }
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(u == 0 ? 0 : 1) << v << ' ' << units[u];
+  return out.str();
+}
+
+std::string ascii_bar(double value, double full_scale, std::size_t width) {
+  if (full_scale <= 0.0) full_scale = 1.0;
+  double frac = value / full_scale;
+  frac = std::clamp(frac, 0.0, 1.0);
+  const auto filled = static_cast<std::size_t>(frac * static_cast<double>(width) + 0.5);
+  return std::string(filled, '#') + std::string(width - filled, ' ');
+}
+
+}  // namespace atm

@@ -1,0 +1,43 @@
+// ASCII table and series rendering for the benchmark harnesses. Every bench
+// binary prints rows in the same shape as the paper's tables/figures; this
+// keeps that formatting in one place.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace atm {
+
+/// Column-aligned ASCII table with a header row.
+///
+///   TablePrinter t({"Benchmark", "Speedup"});
+///   t.add_row({"Blackscholes", "5.03x"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal separator before the next row.
+  void add_separator();
+
+  [[nodiscard]] std::string str() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Format helpers shared by bench binaries.
+[[nodiscard]] std::string fmt_double(double v, int precision = 2);
+[[nodiscard]] std::string fmt_percent(double fraction, int precision = 1);
+[[nodiscard]] std::string fmt_speedup(double v);
+[[nodiscard]] std::string fmt_bytes(std::size_t bytes);
+
+/// Horizontal ASCII bar: value scaled against `full_scale` over `width`
+/// characters; used to sketch the paper's bar figures in terminal output.
+[[nodiscard]] std::string ascii_bar(double value, double full_scale, std::size_t width = 40);
+
+}  // namespace atm

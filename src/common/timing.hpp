@@ -1,0 +1,40 @@
+// Monotonic timing helpers shared by the runtime tracer, the ATM statistics
+// counters and the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace atm {
+
+/// Nanoseconds on the steady (monotonic) clock.
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Simple scope-friendly stopwatch.
+class Timer {
+ public:
+  Timer() noexcept : start_(now_ns()) {}
+
+  void restart() noexcept { start_ = now_ns(); }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept { return now_ns() - start_; }
+  [[nodiscard]] double elapsed_us() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-3;
+  }
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-6;
+  }
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace atm

@@ -1,0 +1,115 @@
+// Task data-access annotations: the runtime-API equivalent of OmpSs/OpenMP
+// `depend(in: ...)` clauses, extended (paper §III-C) with the element type of
+// each region so ATM's type-aware input sampler can rank byte significance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+namespace atm::rt {
+
+/// How a task uses a data region. Matches OmpSs `in` / `out` / `inout`.
+enum class AccessMode : std::uint8_t { In, Out, InOut };
+
+/// Element type stored in a region (paper §III-C: the compiler was modified
+/// to forward this to the runtime; in this library the caller states it, or
+/// the typed helpers below deduce it).
+enum class ElemType : std::uint8_t { U8, I8, U16, I16, U32, I32, U64, I64, F32, F64 };
+
+/// Size in bytes of one element of the given type.
+[[nodiscard]] constexpr std::size_t elem_size(ElemType t) noexcept {
+  switch (t) {
+    case ElemType::U8:
+    case ElemType::I8:
+      return 1;
+    case ElemType::U16:
+    case ElemType::I16:
+      return 2;
+    case ElemType::U32:
+    case ElemType::I32:
+    case ElemType::F32:
+      return 4;
+    case ElemType::U64:
+    case ElemType::I64:
+    case ElemType::F64:
+      return 8;
+  }
+  return 1;
+}
+
+[[nodiscard]] constexpr const char* elem_name(ElemType t) noexcept {
+  switch (t) {
+    case ElemType::U8: return "u8";
+    case ElemType::I8: return "i8";
+    case ElemType::U16: return "u16";
+    case ElemType::I16: return "i16";
+    case ElemType::U32: return "u32";
+    case ElemType::I32: return "i32";
+    case ElemType::U64: return "u64";
+    case ElemType::I64: return "i64";
+    case ElemType::F32: return "f32";
+    case ElemType::F64: return "f64";
+  }
+  return "?";
+}
+
+/// Deduce the ElemType tag for a C++ arithmetic type.
+template <typename T>
+[[nodiscard]] constexpr ElemType elem_type_of() noexcept {
+  using U = std::remove_cv_t<T>;
+  if constexpr (std::is_same_v<U, float>) return ElemType::F32;
+  else if constexpr (std::is_same_v<U, double>) return ElemType::F64;
+  else if constexpr (std::is_integral_v<U> && sizeof(U) == 1)
+    return std::is_signed_v<U> ? ElemType::I8 : ElemType::U8;
+  else if constexpr (std::is_integral_v<U> && sizeof(U) == 2)
+    return std::is_signed_v<U> ? ElemType::I16 : ElemType::U16;
+  else if constexpr (std::is_integral_v<U> && sizeof(U) == 4)
+    return std::is_signed_v<U> ? ElemType::I32 : ElemType::U32;
+  else if constexpr (std::is_integral_v<U> && sizeof(U) == 8)
+    return std::is_signed_v<U> ? ElemType::I64 : ElemType::U64;
+  else
+    static_assert(std::is_arithmetic_v<U>, "unsupported element type");
+  return ElemType::U8;
+}
+
+/// One declared data region of a task.
+struct DataAccess {
+  void* ptr = nullptr;       ///< base address
+  std::size_t bytes = 0;     ///< region size in bytes
+  AccessMode mode = AccessMode::In;
+  ElemType elem = ElemType::U8;
+
+  [[nodiscard]] std::uintptr_t begin() const noexcept {
+    return reinterpret_cast<std::uintptr_t>(ptr);
+  }
+  [[nodiscard]] std::uintptr_t end() const noexcept { return begin() + bytes; }
+  [[nodiscard]] bool is_input() const noexcept { return mode != AccessMode::Out; }
+  [[nodiscard]] bool is_output() const noexcept { return mode != AccessMode::In; }
+
+  [[nodiscard]] std::span<const std::uint8_t> const_bytes() const noexcept {
+    return {static_cast<const std::uint8_t*>(ptr), bytes};
+  }
+  [[nodiscard]] std::span<std::uint8_t> mutable_bytes() const noexcept {
+    return {static_cast<std::uint8_t*>(ptr), bytes};
+  }
+};
+
+/// Typed annotation helpers: `in(block, n)` reads like the paper's pragmas.
+template <typename T>
+[[nodiscard]] DataAccess in(const T* p, std::size_t count) noexcept {
+  return {const_cast<T*>(p), count * sizeof(T), AccessMode::In, elem_type_of<T>()};
+}
+
+template <typename T>
+[[nodiscard]] DataAccess out(T* p, std::size_t count) noexcept {
+  return {p, count * sizeof(T), AccessMode::Out, elem_type_of<T>()};
+}
+
+template <typename T>
+[[nodiscard]] DataAccess inout(T* p, std::size_t count) noexcept {
+  return {p, count * sizeof(T), AccessMode::InOut, elem_type_of<T>()};
+}
+
+}  // namespace atm::rt

@@ -1,0 +1,89 @@
+#include "runtime/dependency_tracker.hpp"
+
+#include <algorithm>
+
+namespace atm::rt {
+
+void DependencyTracker::add_dep(std::vector<Task*>& deps, Task* dep, const Task& self) {
+  if (dep == nullptr || dep == &self) return;
+  if (std::find(deps.begin(), deps.end(), dep) == deps.end()) deps.push_back(dep);
+}
+
+void DependencyTracker::apply(Segment& seg, Task& task, AccessMode mode,
+                              std::vector<Task*>& deps) {
+  const bool reads = mode != AccessMode::Out;
+  const bool writes = mode != AccessMode::In;
+  if (reads) {
+    add_dep(deps, seg.writer, task);
+  }
+  if (writes) {
+    add_dep(deps, seg.writer, task);
+    for (Task* r : seg.readers) add_dep(deps, r, task);
+    seg.writer = &task;
+    seg.readers.clear();
+  } else {
+    if (std::find(seg.readers.begin(), seg.readers.end(), &task) == seg.readers.end()) {
+      seg.readers.push_back(&task);
+    }
+  }
+}
+
+DependencyTracker::SegMap::iterator DependencyTracker::split(SegMap::iterator it,
+                                                             std::uintptr_t at) {
+  Segment left = it->second;
+  Segment right = it->second;
+  left.end = at;
+  right.begin = at;
+  segments_.erase(it);
+  segments_.emplace(left.begin, left);
+  auto [rit, inserted] = segments_.emplace(right.begin, right);
+  (void)inserted;
+  return rit;
+}
+
+void DependencyTracker::register_task(Task& task, std::vector<Task*>& deps) {
+  for (const DataAccess& access : task.accesses) {
+    const std::uintptr_t s = access.begin();
+    const std::uintptr_t e = access.end();
+    if (s == e) continue;
+
+    // Locate the first segment that may overlap [s, e).
+    auto it = segments_.lower_bound(s);
+    if (it != segments_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > s) it = prev;
+    }
+
+    std::uintptr_t cursor = s;
+    while (cursor < e) {
+      if (it == segments_.end() || it->second.begin >= e) {
+        // Trailing gap [cursor, e): fresh segment, no dependences.
+        Segment fresh{cursor, e, nullptr, {}};
+        apply(fresh, task, access.mode, deps);
+        segments_.emplace(cursor, std::move(fresh));
+        cursor = e;
+        break;
+      }
+      if (it->second.end <= cursor) {
+        ++it;
+        continue;
+      }
+      if (it->second.begin > cursor) {
+        // Gap [cursor, it->begin): fresh segment.
+        Segment fresh{cursor, it->second.begin, nullptr, {}};
+        apply(fresh, task, access.mode, deps);
+        segments_.emplace(cursor, std::move(fresh));
+        cursor = it->second.begin;
+        continue;  // `it` stays valid across the insert
+      }
+      // Segment starts at or before the cursor and overlaps it.
+      if (it->second.begin < cursor) it = split(it, cursor);
+      if (it->second.end > e) split(it, e), it = segments_.find(cursor);
+      apply(it->second, task, access.mode, deps);
+      cursor = it->second.end;
+      ++it;
+    }
+  }
+}
+
+}  // namespace atm::rt

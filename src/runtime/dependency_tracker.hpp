@@ -1,0 +1,62 @@
+// Builds the Task Dependence Graph (TDG) from declared data accesses.
+//
+// OmpSs/OpenMP-4.0 semantics over byte ranges:
+//   * `in`  on [s,e)  -> depends on the last writer of every overlapping byte
+//   * `out`/`inout`   -> additionally depends on every reader since that
+//                        writer (WAR) and becomes the new last writer
+//
+// Ranges may partially overlap; the tracker keeps a set of disjoint segments
+// keyed by start address and splits them on demand, so irregular accesses
+// (not just the block-aligned ones of the paper's apps) are handled exactly.
+//
+// Not thread-safe by itself: the Runtime serializes calls under its graph
+// mutex (task submission and the dependence bookkeeping are cheap relative
+// to task bodies; see DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "runtime/task.hpp"
+
+namespace atm::rt {
+
+class DependencyTracker {
+ public:
+  /// Register every access of `task` and append the distinct predecessor
+  /// tasks it must wait for to `deps` (possibly including already-finished
+  /// tasks; the caller filters on state).
+  void register_task(Task& task, std::vector<Task*>& deps);
+
+  /// Drop all segment bookkeeping (legal only at a barrier, when no task is
+  /// pending: every future dependence would be on a finished task anyway).
+  void clear() noexcept { segments_.clear(); }
+
+  /// Number of live segments (exposed for tests and memory accounting).
+  [[nodiscard]] std::size_t segment_count() const noexcept { return segments_.size(); }
+
+ private:
+  struct Segment {
+    std::uintptr_t begin = 0;
+    std::uintptr_t end = 0;
+    Task* writer = nullptr;       ///< last writer, may already be Finished
+    std::vector<Task*> readers;   ///< readers since the last write
+  };
+
+  using SegMap = std::map<std::uintptr_t, Segment>;
+
+  /// Split the segment at `at` (strictly inside it); returns the iterator to
+  /// the right half, which starts at `at`.
+  SegMap::iterator split(SegMap::iterator it, std::uintptr_t at);
+
+  /// Record deps of `task` accessing `seg` with `mode`, then update the
+  /// segment's writer/readers.
+  static void apply(Segment& seg, Task& task, AccessMode mode, std::vector<Task*>& deps);
+
+  static void add_dep(std::vector<Task*>& deps, Task* dep, const Task& self);
+
+  SegMap segments_;
+};
+
+}  // namespace atm::rt

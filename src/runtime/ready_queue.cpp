@@ -1,0 +1,57 @@
+#include "runtime/ready_queue.hpp"
+
+#include "common/timing.hpp"
+
+namespace atm::rt {
+
+void ReadyQueue::sample_locked(std::size_t depth) {
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->sample_depth(now_ns(), depth);
+  }
+}
+
+void ReadyQueue::push(Task* task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(task);
+    depth_.store(queue_.size(), std::memory_order_relaxed);
+    sample_locked(queue_.size());
+  }
+  cv_.notify_one();
+}
+
+Task* ReadyQueue::pop_blocking() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+  if (queue_.empty()) return nullptr;
+  Task* task = queue_.front();
+  queue_.pop_front();
+  depth_.store(queue_.size(), std::memory_order_relaxed);
+  sample_locked(queue_.size());
+  return task;
+}
+
+Task* ReadyQueue::try_pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return nullptr;
+  Task* task = queue_.front();
+  queue_.pop_front();
+  depth_.store(queue_.size(), std::memory_order_relaxed);
+  sample_locked(queue_.size());
+  return task;
+}
+
+void ReadyQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+void ReadyQueue::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shutdown_ = false;
+}
+
+}  // namespace atm::rt

@@ -1,0 +1,53 @@
+// Central FIFO ready queue (the paper's RQ). Tasks whose dependences are all
+// satisfied wait here for an idle worker. Depth is tracked so the tracer can
+// reproduce Figure 8's ready-task timelines.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "runtime/task.hpp"
+#include "runtime/trace.hpp"
+
+namespace atm::rt {
+
+class ReadyQueue {
+ public:
+  explicit ReadyQueue(TraceRecorder* tracer = nullptr) : tracer_(tracer) {}
+
+  /// Enqueue a ready task; wakes one waiting worker.
+  void push(Task* task);
+
+  /// Block until a task is available or shutdown() is called.
+  /// Returns nullptr on shutdown with an empty queue.
+  Task* pop_blocking();
+
+  /// Non-blocking pop; nullptr when empty.
+  Task* try_pop();
+
+  /// Release all blocked workers; subsequent pops drain the queue then
+  /// return nullptr.
+  void shutdown();
+
+  /// Re-arm after shutdown (used by tests that restart a pool).
+  void reset();
+
+  [[nodiscard]] std::size_t depth() const noexcept {
+    return depth_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void sample_locked(std::size_t depth);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Task*> queue_;
+  std::atomic<std::size_t> depth_{0};
+  bool shutdown_ = false;
+  TraceRecorder* tracer_;
+};
+
+}  // namespace atm::rt

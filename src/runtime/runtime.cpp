@@ -1,0 +1,188 @@
+#include "runtime/runtime.hpp"
+
+#include <cassert>
+
+#include "common/timing.hpp"
+
+namespace atm::rt {
+
+namespace {
+/// Lane id of the calling thread: workers set this on startup; any other
+/// thread (the master, test threads) maps to the master lane.
+thread_local std::ptrdiff_t tls_lane = -1;
+}  // namespace
+
+Runtime::Runtime(RuntimeConfig config)
+    : num_threads_(config.num_threads != 0 ? config.num_threads
+                                           : std::max(1u, std::thread::hardware_concurrency())),
+      tracer_(std::make_unique<TraceRecorder>(num_threads_ + 1, config.enable_tracing)),
+      queue_(tracer_.get()) {
+  workers_.reserve(num_threads_);
+  for (unsigned w = 0; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+  started_.store(true, std::memory_order_release);
+}
+
+Runtime::~Runtime() {
+  taskwait();
+  queue_.shutdown();
+  for (auto& t : workers_) t.join();
+}
+
+const TaskType* Runtime::register_type(TaskTypeDesc desc) {
+  std::lock_guard<std::mutex> lock(types_mutex_);
+  const auto id = static_cast<std::uint32_t>(types_.size());
+  types_.push_back(std::make_unique<TaskType>(id, std::move(desc)));
+  return types_.back().get();
+}
+
+std::size_t Runtime::type_count() const {
+  std::lock_guard<std::mutex> lock(types_mutex_);
+  return types_.size();
+}
+
+void Runtime::attach_memoizer(MemoizationHook* hook) {
+  hook_ = hook;
+  if (hook != nullptr) hook->on_attach(*this);
+}
+
+std::size_t Runtime::current_lane() const noexcept {
+  return tls_lane >= 0 ? static_cast<std::size_t>(tls_lane) : tracer_->master_lane();
+}
+
+void Runtime::submit(const TaskType* type, std::function<void()> fn,
+                     std::vector<DataAccess> accesses) {
+  assert(type != nullptr);
+  auto owned = std::make_unique<Task>();
+  Task* task = owned.get();
+  task->type = type;
+  task->fn = std::move(fn);
+  task->accesses = std::move(accesses);
+
+  bool ready = false;
+  {
+    TraceScope creation(tracer_.get(), current_lane(), TraceState::Creation);
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    task->id = next_task_id_++;
+    deps_scratch_.clear();
+    tracker_.register_task(*task, deps_scratch_);
+    for (Task* dep : deps_scratch_) {
+      if (dep->state != TaskState::Finished) {
+        dep->successors.push_back(task);
+        ++task->pending_preds;
+      }
+    }
+    ++pending_tasks_;
+    tasks_.push_back(std::move(owned));
+    if (task->pending_preds == 0) {
+      task->state = TaskState::Ready;
+      ready = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.submitted;
+  }
+  if (ready) queue_.push(task);
+}
+
+void Runtime::taskwait() {
+  std::unique_lock<std::mutex> lock(graph_mutex_);
+  all_done_cv_.wait(lock, [&] { return pending_tasks_ == 0; });
+  // Barrier semantics: every submitted task finished; future tasks can only
+  // depend on finished work, so the segment map and task records can go.
+  tracker_.clear();
+  tasks_.clear();
+}
+
+void Runtime::worker_main(unsigned worker_id) {
+  tls_lane = static_cast<std::ptrdiff_t>(worker_id);
+  for (;;) {
+    Task* task = nullptr;
+    {
+      TraceScope idle(tracer_.get(), worker_id, TraceState::Idle);
+      task = queue_.pop_blocking();
+    }
+    if (task == nullptr) return;
+    process_task(task, worker_id);
+  }
+}
+
+void Runtime::process_task(Task* task, std::size_t lane) {
+  MemoizationHook::Decision decision = MemoizationHook::Decision::Execute;
+  if (hook_ != nullptr && task->type->memoizable()) {
+    decision = hook_->on_task_ready(*task, lane);
+  }
+  switch (decision) {
+    case MemoizationHook::Decision::Hit: {
+      task->atm_memoized = true;
+      {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.memoized;
+      }
+      complete_task(*task);
+      return;
+    }
+    case MemoizationHook::Decision::Deferred: {
+      // The in-flight twin fulfills the output copy and calls
+      // complete_without_execution(); nothing more to do on this worker.
+      return;
+    }
+    case MemoizationHook::Decision::Execute: {
+      task->state = TaskState::Running;
+      {
+        TraceScope exec(tracer_.get(), lane, TraceState::TaskExec);
+        task->fn();
+      }
+      if (hook_ != nullptr && task->type->memoizable()) {
+        hook_->on_task_executed(*task, lane);
+      }
+      {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.executed;
+      }
+      complete_task(*task);
+      return;
+    }
+  }
+}
+
+void Runtime::complete_without_execution(Task& task, bool via_ikt) {
+  task.atm_memoized = true;
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    if (via_ikt) {
+      ++counters_.deferred;
+    } else {
+      ++counters_.memoized;
+    }
+  }
+  complete_task(task);
+}
+
+void Runtime::complete_task(Task& task) {
+  std::vector<Task*> newly_ready;
+  bool all_done = false;
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    task.state = TaskState::Finished;
+    for (Task* succ : task.successors) {
+      if (--succ->pending_preds == 0) {
+        succ->state = TaskState::Ready;
+        newly_ready.push_back(succ);
+      }
+    }
+    --pending_tasks_;
+    all_done = pending_tasks_ == 0;
+  }
+  for (Task* succ : newly_ready) queue_.push(succ);
+  if (all_done) all_done_cv_.notify_all();
+}
+
+RuntimeCounters Runtime::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  return counters_;
+}
+
+}  // namespace atm::rt

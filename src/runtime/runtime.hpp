@@ -1,0 +1,137 @@
+// The runtime facade: task submission, dependence tracking, worker pool,
+// taskwait, tracing, and the hook through which the ATM engine intercepts
+// ready tasks (paper Figure 1: TDG -> RQ -> threads -> THT/IKT).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/dependency_tracker.hpp"
+#include "runtime/ready_queue.hpp"
+#include "runtime/task.hpp"
+#include "runtime/task_type.hpp"
+#include "runtime/trace.hpp"
+
+namespace atm::rt {
+
+class Runtime;
+
+/// Interception point for memoization. The ATM engine implements this; the
+/// runtime consults it when an idle worker pulls a memoizable task from the
+/// ready queue (paper §III-A).
+class MemoizationHook {
+ public:
+  virtual ~MemoizationHook() = default;
+
+  enum class Decision : std::uint8_t {
+    Execute,   ///< no reuse found (or training requires execution): run fn
+    Hit,       ///< outputs already provided from the THT: skip execution
+    Deferred,  ///< IKT hit: an in-flight twin will copy outputs and complete
+  };
+
+  /// Called by a worker before executing `task`. May copy outputs (Hit),
+  /// register a postponed copy (Deferred) or request execution.
+  virtual Decision on_task_ready(Task& task, std::size_t lane) = 0;
+
+  /// Called by the worker right after `task.fn()` ran (only when
+  /// on_task_ready returned Execute). Updates THT/IKT and training state.
+  virtual void on_task_executed(Task& task, std::size_t lane) = 0;
+
+  /// Called once when the hook is attached to a runtime.
+  virtual void on_attach(Runtime& runtime) { (void)runtime; }
+};
+
+/// Runtime construction parameters.
+struct RuntimeConfig {
+  /// Worker thread count (the paper's "number of cores"). 0 = hardware
+  /// concurrency.
+  unsigned num_threads = 0;
+  /// Record per-thread state timelines and RQ depth samples (Figs. 7-8).
+  bool enable_tracing = false;
+};
+
+/// Monotonic counters; cheap enough to keep always-on.
+struct RuntimeCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t memoized = 0;  ///< completed via THT hit (no execution)
+  std::uint64_t deferred = 0;  ///< completed via IKT postponed copy
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Register a task type (one per source-level annotation). The returned
+  /// pointer stays valid for the lifetime of the runtime.
+  const TaskType* register_type(TaskTypeDesc desc);
+
+  /// Attach the memoization engine. Must happen before the first submit.
+  void attach_memoizer(MemoizationHook* hook);
+
+  /// Submit one task: `fn` must be a pure function of the declared input
+  /// regions writing only the declared output regions (paper §III-E).
+  void submit(const TaskType* type, std::function<void()> fn,
+              std::vector<DataAccess> accesses);
+
+  /// Block until every submitted task completed, then reset the dependence
+  /// bookkeeping (the THT inside an attached engine persists; reuse across
+  /// taskwait barriers is exactly what the paper's iterative apps need).
+  void taskwait();
+
+  /// Used by the memoization hook: complete `task` whose outputs were
+  /// provided without executing fn (THT hit or fulfilled postponed copy).
+  void complete_without_execution(Task& task, bool via_ikt);
+
+  [[nodiscard]] unsigned num_threads() const noexcept { return num_threads_; }
+  [[nodiscard]] TraceRecorder& tracer() noexcept { return *tracer_; }
+  [[nodiscard]] const TraceRecorder& tracer() const noexcept { return *tracer_; }
+
+  /// Lane id of the calling thread (worker id, or the master lane).
+  [[nodiscard]] std::size_t current_lane() const noexcept;
+
+  [[nodiscard]] RuntimeCounters counters() const;
+
+  /// Number of distinct registered task types.
+  [[nodiscard]] std::size_t type_count() const;
+
+ private:
+  void worker_main(unsigned worker_id);
+  void process_task(Task* task, std::size_t lane);
+  void complete_task(Task& task);
+
+  unsigned num_threads_;
+  std::unique_ptr<TraceRecorder> tracer_;
+  ReadyQueue queue_;
+
+  mutable std::mutex graph_mutex_;
+  std::condition_variable all_done_cv_;
+  DependencyTracker tracker_;
+  std::deque<std::unique_ptr<Task>> tasks_;
+  std::vector<Task*> deps_scratch_;
+  std::uint64_t pending_tasks_ = 0;
+  TaskId next_task_id_ = 0;
+
+  mutable std::mutex types_mutex_;
+  std::vector<std::unique_ptr<TaskType>> types_;
+
+  mutable std::mutex counters_mutex_;
+  RuntimeCounters counters_;
+
+  MemoizationHook* hook_ = nullptr;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace atm::rt

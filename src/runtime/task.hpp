@@ -1,0 +1,58 @@
+// A task instance: closure + declared accesses + dependence-graph state +
+// the ATM bookkeeping attached while the task flows through the engine.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "runtime/data_access.hpp"
+#include "runtime/task_type.hpp"
+
+namespace atm::rt {
+
+using TaskId = std::uint64_t;
+
+/// Lifecycle of a task inside the runtime.
+enum class TaskState : std::uint8_t {
+  Created,   ///< submitted, waiting on dependences
+  Ready,     ///< in the ready queue
+  Running,   ///< executing on a worker
+  Deferred,  ///< IKT hit: waiting for an in-flight twin to copy outputs
+  Finished,  ///< complete; successors released
+};
+
+struct Task {
+  TaskId id = 0;
+  const TaskType* type = nullptr;
+  std::function<void()> fn;
+  std::vector<DataAccess> accesses;
+
+  // --- dependence graph state (guarded by the Runtime graph mutex) ---
+  std::vector<Task*> successors;
+  std::uint32_t pending_preds = 0;
+  TaskState state = TaskState::Created;
+
+  // --- ATM state (owned by the engine while the task is in flight) ---
+  HashKey atm_key = 0;       ///< hash key over the sampled input bytes
+  double atm_p = 0.0;        ///< the p used to compute atm_key
+  bool atm_key_valid = false;
+  bool atm_memoized = false; ///< outputs provided without executing fn
+
+  [[nodiscard]] std::size_t input_bytes() const noexcept {
+    std::size_t n = 0;
+    for (const auto& a : accesses)
+      if (a.is_input()) n += a.bytes;
+    return n;
+  }
+  [[nodiscard]] std::size_t output_bytes() const noexcept {
+    std::size_t n = 0;
+    for (const auto& a : accesses)
+      if (a.is_output()) n += a.bytes;
+    return n;
+  }
+};
+
+}  // namespace atm::rt

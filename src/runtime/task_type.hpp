@@ -1,0 +1,47 @@
+// Task types: one per source-level task annotation. The programmer marks the
+// types eligible for ATM (paper §III-E proposes extending the OpenMP pragmas
+// with exactly this) and supplies the per-type Dynamic-ATM parameters of
+// Table II (L_training, tau_max).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace atm::rt {
+
+/// Per-type Dynamic ATM tuning knobs (paper Table II).
+struct AtmParams {
+  /// Tasks that must be *correctly* approximated at the current p before the
+  /// training phase ends (L_training).
+  std::uint32_t l_training = 15;
+  /// Per-task Chebyshev relative-error acceptance threshold (tau_max),
+  /// expressed as a fraction (0.01 == 1%).
+  double tau_max = 0.01;
+};
+
+/// Immutable description of a task type, registered once with the Runtime.
+struct TaskTypeDesc {
+  std::string name;
+  /// Programmer opt-in: only deterministic tasks with fully declared
+  /// inputs/outputs may set this (paper §III-E).
+  bool memoizable = false;
+  AtmParams atm;
+};
+
+/// Registered task type. Owned by the Runtime; identified by a dense id used
+/// to index ATM's per-type sampler and training state.
+class TaskType {
+ public:
+  TaskType(std::uint32_t id, TaskTypeDesc desc) : id_(id), desc_(std::move(desc)) {}
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return desc_.name; }
+  [[nodiscard]] bool memoizable() const noexcept { return desc_.memoizable; }
+  [[nodiscard]] const AtmParams& atm_params() const noexcept { return desc_.atm; }
+
+ private:
+  std::uint32_t id_;
+  TaskTypeDesc desc_;
+};
+
+}  // namespace atm::rt

@@ -1,0 +1,139 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+
+#include "common/timing.hpp"
+
+namespace atm::rt {
+
+TraceRecorder::TraceRecorder(std::size_t lanes, bool enabled)
+    : enabled_(enabled), lanes_(lanes) {
+  if (enabled_) {
+    for (auto& lane : lanes_) lane.reserve(4096);
+    depth_.reserve(8192);
+  }
+}
+
+void TraceRecorder::record(std::size_t lane, TraceState state, std::uint64_t t0,
+                           std::uint64_t t1) {
+  if (!enabled_ || lane >= lanes_.size()) return;
+  lanes_[lane].push_back(TraceEvent{t0, t1, state});
+}
+
+void TraceRecorder::sample_depth(std::uint64_t t, std::size_t depth) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(depth_mutex_);
+  depth_.push_back(DepthSample{t, static_cast<std::uint32_t>(depth)});
+}
+
+std::vector<DepthSample> TraceRecorder::depth_samples() const {
+  std::lock_guard<std::mutex> lock(depth_mutex_);
+  auto copy = depth_;
+  std::sort(copy.begin(), copy.end(),
+            [](const DepthSample& a, const DepthSample& b) { return a.t < b.t; });
+  return copy;
+}
+
+LaneSummary TraceRecorder::summarize_lane(std::size_t i) const {
+  LaneSummary s;
+  for (const TraceEvent& e : lanes_[i]) {
+    const auto idx = static_cast<std::size_t>(e.state);
+    s.total_ns[idx] += e.t1 - e.t0;
+    ++s.event_count[idx];
+  }
+  return s;
+}
+
+LaneSummary TraceRecorder::summarize_all() const {
+  LaneSummary s;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    const LaneSummary li = summarize_lane(i);
+    for (std::size_t k = 0; k < kTraceStateCount; ++k) {
+      s.total_ns[k] += li.total_ns[k];
+      s.event_count[k] += li.event_count[k];
+    }
+  }
+  return s;
+}
+
+std::uint64_t TraceRecorder::first_event_ns() const {
+  std::uint64_t first = UINT64_MAX;
+  for (const auto& lane : lanes_) {
+    if (!lane.empty()) first = std::min(first, lane.front().t0);
+  }
+  return first == UINT64_MAX ? 0 : first;
+}
+
+std::uint64_t TraceRecorder::last_event_ns() const {
+  std::uint64_t last = 0;
+  for (const auto& lane : lanes_) {
+    for (const auto& e : lane) last = std::max(last, e.t1);
+  }
+  return last;
+}
+
+std::string TraceRecorder::ascii_timeline(std::size_t width) const {
+  static constexpr char kGlyph[kTraceStateCount] = {'.', 'X', 'h', 'm', 'c', 'r'};
+  const std::uint64_t t0 = first_event_ns();
+  const std::uint64_t t1 = last_event_ns();
+  if (t1 <= t0 || width == 0) return {};
+  const double span = static_cast<double>(t1 - t0);
+
+  std::string out;
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    // Pick the state owning the most time within each column.
+    std::vector<std::uint64_t> col_time(width * kTraceStateCount, 0);
+    for (const TraceEvent& e : lanes_[lane]) {
+      const double c0 = static_cast<double>(e.t0 - t0) / span * static_cast<double>(width);
+      const double c1 = static_cast<double>(e.t1 - t0) / span * static_cast<double>(width);
+      auto first_col = static_cast<std::size_t>(std::max(0.0, c0));
+      auto last_col = static_cast<std::size_t>(std::max(0.0, c1));
+      last_col = std::min(last_col, width - 1);
+      first_col = std::min(first_col, width - 1);
+      for (std::size_t c = first_col; c <= last_col; ++c) {
+        const double lo = std::max(c0, static_cast<double>(c));
+        const double hi = std::min(c1, static_cast<double>(c + 1));
+        if (hi > lo) {
+          col_time[c * kTraceStateCount + static_cast<std::size_t>(e.state)] +=
+              static_cast<std::uint64_t>((hi - lo) * span / static_cast<double>(width));
+        }
+      }
+    }
+    std::string row(width, ' ');
+    for (std::size_t c = 0; c < width; ++c) {
+      std::uint64_t best = 0;
+      char glyph = ' ';
+      for (std::size_t k = 0; k < kTraceStateCount; ++k) {
+        if (col_time[c * kTraceStateCount + k] > best) {
+          best = col_time[c * kTraceStateCount + k];
+          glyph = kGlyph[k];
+        }
+      }
+      row[c] = glyph;
+    }
+    const bool is_master = lane == master_lane();
+    out += (is_master ? "master " : "core " + std::to_string(lane + 1) + "  ");
+    out += '|';
+    out += row;
+    out += "|\n";
+  }
+  return out;
+}
+
+void TraceRecorder::clear() {
+  for (auto& lane : lanes_) lane.clear();
+  std::lock_guard<std::mutex> lock(depth_mutex_);
+  depth_.clear();
+}
+
+TraceScope::TraceScope(TraceRecorder* rec, std::size_t lane, TraceState state) noexcept
+    : rec_(rec != nullptr && rec->enabled() ? rec : nullptr),
+      lane_(lane),
+      state_(state),
+      t0_(rec_ != nullptr ? now_ns() : 0) {}
+
+TraceScope::~TraceScope() {
+  if (rec_ != nullptr) rec_->record(lane_, state_, t0_, now_ns());
+}
+
+}  // namespace atm::rt

@@ -1,0 +1,120 @@
+// Execution tracing: per-worker state timelines and ready-queue depth
+// samples. This is the raw data behind the paper's Figure 7 (Gauss-Seidel
+// state trace at 2 vs 8 cores) and Figure 8 (Blackscholes ready-task count
+// with and without ATM).
+//
+// Lanes are written single-threaded (lane i by worker i, the last lane by
+// the master thread), so event recording is lock-free; only the depth
+// sample buffer takes a mutex.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace atm::rt {
+
+/// Thread states mirroring the paper's trace legends.
+enum class TraceState : std::uint8_t {
+  Idle,        ///< no ready task available
+  TaskExec,    ///< running a task body
+  HashKey,     ///< ATM: hash-key computation
+  Memoize,     ///< ATM: output copies from/to the THT (copyOuts/updateTHT)
+  Creation,    ///< master: task creation & dependence registration
+  RuntimeOther ///< scheduling, completion bookkeeping
+};
+
+[[nodiscard]] constexpr const char* trace_state_name(TraceState s) noexcept {
+  switch (s) {
+    case TraceState::Idle: return "Idle";
+    case TraceState::TaskExec: return "TaskExec";
+    case TraceState::HashKey: return "ATM:HashKey";
+    case TraceState::Memoize: return "ATM:Memoize";
+    case TraceState::Creation: return "Creation";
+    case TraceState::RuntimeOther: return "RuntimeOther";
+  }
+  return "?";
+}
+
+inline constexpr std::size_t kTraceStateCount = 6;
+
+struct TraceEvent {
+  std::uint64_t t0 = 0;  ///< ns, steady clock
+  std::uint64_t t1 = 0;
+  TraceState state = TraceState::Idle;
+};
+
+struct DepthSample {
+  std::uint64_t t = 0;   ///< ns, steady clock
+  std::uint32_t depth = 0;
+};
+
+/// Aggregate view of one lane (thread) for reporting.
+struct LaneSummary {
+  std::uint64_t total_ns[kTraceStateCount] = {};
+  std::uint64_t event_count[kTraceStateCount] = {};
+
+  [[nodiscard]] double mean_ns(TraceState s) const noexcept {
+    const auto i = static_cast<std::size_t>(s);
+    return event_count[i] ? static_cast<double>(total_ns[i]) /
+                                static_cast<double>(event_count[i])
+                          : 0.0;
+  }
+};
+
+class TraceRecorder {
+ public:
+  /// `lanes` = worker count + 1 (the extra lane is the master thread).
+  /// A disabled recorder ignores all records at negligible cost.
+  TraceRecorder(std::size_t lanes, bool enabled);
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] std::size_t lane_count() const noexcept { return lanes_.size(); }
+  [[nodiscard]] std::size_t master_lane() const noexcept { return lanes_.size() - 1; }
+
+  void record(std::size_t lane, TraceState state, std::uint64_t t0, std::uint64_t t1);
+  void sample_depth(std::uint64_t t, std::size_t depth);
+
+  [[nodiscard]] const std::vector<TraceEvent>& lane(std::size_t i) const {
+    return lanes_[i];
+  }
+  [[nodiscard]] std::vector<DepthSample> depth_samples() const;
+
+  [[nodiscard]] LaneSummary summarize_lane(std::size_t i) const;
+  [[nodiscard]] LaneSummary summarize_all() const;
+
+  /// First/last event timestamps across lanes (0 if empty).
+  [[nodiscard]] std::uint64_t first_event_ns() const;
+  [[nodiscard]] std::uint64_t last_event_ns() const;
+
+  /// Render a compact ASCII timeline: one row per lane, `width` columns,
+  /// dominant state per column encoded as a character
+  /// (.=idle X=exec h=hash m=memoize c=creation r=other).
+  [[nodiscard]] std::string ascii_timeline(std::size_t width = 100) const;
+
+  void clear();
+
+ private:
+  bool enabled_;
+  std::vector<std::vector<TraceEvent>> lanes_;
+  mutable std::mutex depth_mutex_;
+  std::vector<DepthSample> depth_;
+};
+
+/// RAII scope that records one event on a lane.
+class TraceScope {
+ public:
+  TraceScope(TraceRecorder* rec, std::size_t lane, TraceState state) noexcept;
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceRecorder* rec_;
+  std::size_t lane_;
+  TraceState state_;
+  std::uint64_t t0_;
+};
+
+}  // namespace atm::rt

@@ -1,0 +1,125 @@
+// Tests that the synthetic workload generators reproduce the redundancy
+// structure the paper's §V-D attributes to each benchmark — the property
+// every speedup in Figs. 3-6 depends on. These tests pin the *source* of
+// reuse, not just its amount.
+#include <gtest/gtest.h>
+
+#include "apps/app_registry.hpp"
+#include "apps/blackscholes.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/stencil_common.hpp"
+#include "apps/swaptions.hpp"
+
+namespace atm::apps {
+namespace {
+
+TEST(Redundancy, BlackscholesInputReplicationYieldsExactReuse) {
+  // "Embarrassingly parallel algorithms such as Blackscholes have their
+  // redundancy in the program's inputs."
+  BlackscholesParams params = BlackscholesParams::preset(Preset::Test);
+  const BlackscholesApp app(params);
+  const auto run = app.run({.threads = 2, .mode = AtmMode::Static});
+  // 1 iteration prices every distinct block once; later iterations reuse
+  // everything: overall reuse must comfortably exceed the 1-iter level.
+  const double reuse = run.reuse_fraction();
+  EXPECT_GT(reuse, 0.5);
+  EXPECT_LT(run.counters.executed, run.counters.submitted);
+}
+
+TEST(Redundancy, BlackscholesOneIterationReuseIsHalf) {
+  // With distinct = num/2 and aligned blocks, exactly half the first
+  // iteration's blocks are replicas (the paper's 1-iter reuse is 50%).
+  BlackscholesParams params = BlackscholesParams::preset(Preset::Test);
+  params.iterations = 1;
+  const BlackscholesApp app(params);
+  const auto run = app.run({.threads = 1, .mode = AtmMode::Static});
+  EXPECT_NEAR(run.reuse_fraction(), 0.5, 0.05);
+}
+
+TEST(Redundancy, StencilConvergenceGeneratesReuseOverTime) {
+  // "The temperature near the walls converges faster than in the interior"
+  // — interior blocks with repeated patterns memoize while the heat front
+  // has not reached them.
+  const auto app = make_app("gauss-seidel", Preset::Bench);
+  const auto run = app->run({.threads = 2, .mode = AtmMode::Static});
+  EXPECT_GT(run.atm.tht_hits, 0u);
+  // Reuse must keep being generated during the whole run (Fig. 9): the
+  // creator ids of reuse events span a wide range of the task id space.
+  ASSERT_FALSE(run.atm.reuse_creators.empty());
+  const auto [min_it, max_it] = std::minmax_element(run.atm.reuse_creators.begin(),
+                                                    run.atm.reuse_creators.end());
+  EXPECT_GT(*max_it - *min_it, run.counters.submitted / 4);
+}
+
+TEST(Redundancy, KmeansHasNoExactReuseButApproximates) {
+  // "The centers change in all the iterations, preventing exact
+  // memoization" — yet Dynamic ATM approximates once clusters converge.
+  const auto app = make_app("kmeans", Preset::Test);
+  const auto exact = app->run({.threads = 2, .mode = AtmMode::Static});
+  EXPECT_EQ(exact.atm.tht_hits, 0u);  // no exact twin ever
+  const auto approx = app->run({.threads = 2, .mode = AtmMode::Dynamic});
+  EXPECT_GT(approx.atm.tht_hits, 0u);  // approximation unlocks reuse
+  EXPECT_LT(approx.final_p, 0.01);     // with a tiny sampled fraction
+}
+
+TEST(Redundancy, SwaptionsExactDupesFoundByStatic) {
+  SwaptionsParams params = SwaptionsParams::preset(Preset::Test);
+  const SwaptionsApp app(params);
+  const auto run = app.run({.threads = 1, .mode = AtmMode::Static});
+  // Every byte-identical replica (and only those) hits exactly.
+  EXPECT_EQ(run.counters.memoized + run.counters.deferred, params.exact_dupes);
+}
+
+TEST(Redundancy, SwaptionsNearDupesNeedApproximation) {
+  // The perturbed records differ in low-order mantissa bytes only: Static
+  // ATM cannot reuse them, Dynamic ATM (type-aware, p < 1) can.
+  SwaptionsParams params = SwaptionsParams::preset(Preset::Test);
+  const SwaptionsApp app(params);
+  const auto st = app.run({.threads = 1, .mode = AtmMode::Static});
+  const auto dy = app.run({.threads = 1, .mode = AtmMode::Dynamic});
+  EXPECT_GT(dy.atm.tht_hits + dy.atm.training_hits,
+            st.counters.memoized + st.counters.deferred)
+      << "dynamic must find strictly more reuse than the exact dupes";
+}
+
+TEST(Redundancy, SwaptionsPerturbedPricesAreClose) {
+  // tau of a near-duplicate approximation stays far below tau_max = 20%.
+  SwaptionsParams params = SwaptionsParams::preset(Preset::Test);
+  const SwaptionsApp app(params);
+  const auto off = app.run({.threads = 1, .mode = AtmMode::Off});
+  const auto dy = app.run({.threads = 1, .mode = AtmMode::Dynamic});
+  EXPECT_LT(app.program_error(off, dy), 0.04);  // paper: -3.2% worst case
+}
+
+TEST(Redundancy, LuPooledPatternsCreateRepeatedTriples) {
+  const auto app = make_app("lu", Preset::Bench);
+  const auto run = app->run({.threads = 1, .mode = AtmMode::Static});
+  EXPECT_GT(run.atm.tht_hits + run.atm.ikt_hits, 0u)
+      << "pooled block contents must produce identical bmod triples";
+}
+
+TEST(Redundancy, JacobiBlacklistIdentifiesUnstableOutputs) {
+  // "A reduced set of task output pointers is responsible for this
+  // instability, which is identified by dynamic ATM in the training phase."
+  const auto app = make_app("jacobi", Preset::Bench);
+  const auto run = app->run({.threads = 2, .mode = AtmMode::Dynamic});
+  // Bounded: a reduced set, not a wholesale rejection of the grid.
+  EXPECT_LT(run.blacklist_size, 40u);
+  // And accuracy stays bounded thanks to it.
+  const auto off = app->run({.threads = 2, .mode = AtmMode::Off});
+  EXPECT_LT(app->program_error(off, run), 0.05);
+}
+
+TEST(Redundancy, DynamicChoosesSmallerPForLargerInputs) {
+  // The stencil tasks (38 KB inputs) settle at a much smaller p than the
+  // tiny swaption records (384 B): the selection is about absolute sampled
+  // bytes, which the adaptive algorithm discovers by itself.
+  const auto gs = make_app("gs", Preset::Bench);
+  const auto sw = make_app("swaptions", Preset::Bench);
+  const auto gs_run = gs->run({.threads = 2, .mode = AtmMode::Dynamic});
+  const auto sw_run = sw->run({.threads = 2, .mode = AtmMode::Dynamic});
+  EXPECT_LT(gs_run.final_p, sw_run.final_p);
+}
+
+}  // namespace
+}  // namespace atm::apps

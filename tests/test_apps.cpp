@@ -1,0 +1,275 @@
+// Application-level tests (Table I benchmarks, Test preset): determinism
+// across thread counts, Static-ATM bit-exactness, Dynamic-ATM sanity,
+// kernel-level correctness checks, and metadata used by the harnesses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/app_registry.hpp"
+#include "apps/blackscholes.hpp"
+#include "apps/sparse_lu.hpp"
+#include "apps/stencil_common.hpp"
+#include "apps/swaptions.hpp"
+
+namespace atm::apps {
+namespace {
+
+const char* kAppNames[] = {"blackscholes", "gauss-seidel", "jacobi",
+                           "kmeans",       "lu",           "swaptions"};
+
+class PerApp : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<App> app() { return make_app(GetParam(), Preset::Test); }
+};
+
+TEST_P(PerApp, MetadataPopulated) {
+  auto a = app();
+  ASSERT_NE(a, nullptr);
+  EXPECT_FALSE(a->name().empty());
+  EXPECT_FALSE(a->domain().empty());
+  EXPECT_FALSE(a->program_input_desc().empty());
+  EXPECT_FALSE(a->task_input_types().empty());
+  EXPECT_FALSE(a->memoized_task_type().empty());
+  EXPECT_FALSE(a->correctness_target().empty());
+  EXPECT_GT(a->atm_params().l_training, 0u);
+  EXPECT_GT(a->atm_params().tau_max, 0.0);
+}
+
+TEST_P(PerApp, DeterministicAcrossThreadCounts) {
+  auto a = app();
+  const auto r1 = a->run({.threads = 1, .mode = AtmMode::Off});
+  const auto r2 = a->run({.threads = 2, .mode = AtmMode::Off});
+  ASSERT_EQ(r1.output.size(), r2.output.size());
+  EXPECT_EQ(r1.output, r2.output);  // bit-exact dataflow execution
+}
+
+TEST_P(PerApp, StaticAtmIsBitExact) {
+  auto a = app();
+  const auto off = a->run({.threads = 2, .mode = AtmMode::Off});
+  const auto st = a->run({.threads = 2, .mode = AtmMode::Static});
+  ASSERT_EQ(off.output.size(), st.output.size());
+  EXPECT_EQ(off.output, st.output);  // "static ATM always achieves 100%"
+  EXPECT_EQ(a->program_error(off, st), st.app_specific_error >= 0
+                                           ? st.app_specific_error
+                                           : 0.0);
+}
+
+TEST_P(PerApp, CountersAreConsistent) {
+  auto a = app();
+  const auto r = a->run({.threads = 2, .mode = AtmMode::Static});
+  EXPECT_EQ(r.counters.submitted,
+            r.counters.executed + r.counters.memoized + r.counters.deferred);
+  EXPECT_GE(r.reuse_fraction(), 0.0);
+  EXPECT_LE(r.reuse_fraction(), 1.0);
+  EXPECT_GT(r.task_input_bytes, 0u);
+  EXPECT_GT(r.app_memory_bytes, 0u);
+  EXPECT_GT(r.atm_memory_bytes, 0u);
+}
+
+TEST_P(PerApp, DynamicAtmRunsWithinPRange) {
+  auto a = app();
+  const auto dy = a->run({.threads = 2, .mode = AtmMode::Dynamic});
+  EXPECT_GE(dy.final_p, kMinP);
+  EXPECT_LE(dy.final_p, 1.0);
+  // p history is a doubling chain starting at kMinP.
+  for (std::size_t i = 1; i < dy.p_history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(dy.p_history[i], std::min(1.0, dy.p_history[i - 1] * 2.0));
+  }
+}
+
+TEST_P(PerApp, OracleFixedPFullInputsMatchesStatic) {
+  auto a = app();
+  const auto st = a->run({.threads = 2, .mode = AtmMode::Static});
+  const auto oracle = a->run({.threads = 2, .mode = AtmMode::FixedP, .fixed_p = 1.0});
+  EXPECT_EQ(st.output, oracle.output);  // both hash all input bytes
+}
+
+TEST_P(PerApp, TracingProducesLaneSummaries) {
+  auto a = app();
+  const auto r = a->run({.threads = 2, .mode = AtmMode::Static, .tracing = true});
+  ASSERT_EQ(r.lane_summaries.size(), 3u);  // 2 workers + master
+  std::uint64_t exec_events = 0;
+  for (const auto& lane : r.lane_summaries) {
+    exec_events += lane.event_count[static_cast<int>(rt::TraceState::TaskExec)];
+  }
+  EXPECT_EQ(exec_events, r.counters.executed);
+  EXPECT_FALSE(r.ascii_timeline.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, PerApp, ::testing::ValuesIn(kAppNames));
+
+TEST(AppRegistry, MakeAllReturnsSixInTableOrder) {
+  const auto apps = make_all_apps(Preset::Test);
+  ASSERT_EQ(apps.size(), 6u);
+  EXPECT_EQ(apps[0]->name(), "Blackscholes");
+  EXPECT_EQ(apps[1]->name(), "Gauss-Seidel");
+  EXPECT_EQ(apps[2]->name(), "Jacobi");
+  EXPECT_EQ(apps[3]->name(), "Kmeans");
+  EXPECT_EQ(apps[4]->name(), "LU");
+  EXPECT_EQ(apps[5]->name(), "Swaptions");
+}
+
+TEST(AppRegistry, UnknownNameIsNull) {
+  EXPECT_EQ(make_app("nope", Preset::Test), nullptr);
+}
+
+TEST(AppRegistry, JacobiTrainsLongerThanGs) {
+  const auto gs = make_app("gs", Preset::Paper);
+  const auto jacobi = make_app("jacobi", Preset::Paper);
+  EXPECT_EQ(gs->atm_params().l_training, 100u);      // Table II
+  EXPECT_EQ(jacobi->atm_params().l_training, 150u);  // Table II
+}
+
+// --- kernel-level checks ----------------------------------------------------
+
+TEST(Blackscholes, CallPutParity) {
+  const float s = 100.0f, k = 95.0f, r = 0.05f, v = 0.3f, t = 1.0f;
+  const float call = black_scholes_price(s, k, r, v, t, 0.0f);
+  const float put = black_scholes_price(s, k, r, v, t, 1.0f);
+  // C - P = S - K e^{-rT}
+  const float rhs = s - k * std::exp(-r * t);
+  EXPECT_NEAR(call - put, rhs, 0.05f);
+  EXPECT_GT(call, 0.0f);
+  EXPECT_GT(put, 0.0f);
+}
+
+TEST(Blackscholes, DeeperInTheMoneyCostsMore) {
+  const float call_itm = black_scholes_price(120.0f, 100.0f, 0.05f, 0.2f, 1.0f, 0.0f);
+  const float call_otm = black_scholes_price(80.0f, 100.0f, 0.05f, 0.2f, 1.0f, 0.0f);
+  EXPECT_GT(call_itm, call_otm);
+}
+
+TEST(SparseLuKernels, Lu0FactorsDiagonallyDominantBlock) {
+  constexpr std::size_t b = 8;
+  std::vector<float> a(b * b);
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t j = 0; j < b; ++j) {
+      a[i * b + j] = (i == j) ? 20.0f : 1.0f / static_cast<float>(1 + i + j);
+    }
+  }
+  auto lu = a;
+  lu0_kernel(lu.data(), b);
+  // Rebuild A from L (unit lower) * U (upper) and compare.
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t j = 0; j < b; ++j) {
+      double sum = 0;
+      for (std::size_t k = 0; k <= std::min(i, j); ++k) {
+        const double l = (k == i) ? 1.0 : lu[i * b + k];
+        sum += l * lu[k * b + j] * ((k <= j) ? 1.0 : 0.0);
+      }
+      EXPECT_NEAR(sum, a[i * b + j], 1e-3) << i << "," << j;
+    }
+  }
+}
+
+TEST(SparseLuKernels, BmodSubtractsProduct) {
+  constexpr std::size_t b = 4;
+  std::vector<float> row(b * b, 1.0f), col(b * b, 2.0f), inner(b * b, 100.0f);
+  bmod_kernel(row.data(), col.data(), inner.data(), b);
+  // inner -= row*col: each element of row*col = sum_k 1*2 = 8.
+  for (float v : inner) EXPECT_FLOAT_EQ(v, 92.0f);
+}
+
+TEST(Swaptions, PriceDeterministic) {
+  std::vector<double> record(kSwaptionRecordDoubles, 0.0);
+  record[0] = 0.01;   // strike deep in the money for a payer
+  record[1] = 5.0;    // maturity
+  record[2] = 10.0;   // tenor
+  record[3] = 100.0;  // notional
+  record[4] = 1.0;    // payer
+  for (std::size_t i = 5; i < 37; ++i) record[i] = 0.04;
+  for (std::size_t i = 37; i < 43; ++i) record[i] = 0.2;
+  const double p1 = price_swaption(record.data(), 42, 500, 20);
+  const double p2 = price_swaption(record.data(), 42, 500, 20);
+  EXPECT_EQ(p1, p2);
+  const double p3 = price_swaption(record.data(), 43, 500, 20);
+  EXPECT_NE(p1, p3);  // the seed is part of the task input
+}
+
+TEST(Swaptions, SmoothInParameters) {
+  std::vector<double> record(kSwaptionRecordDoubles, 0.0);
+  record[0] = 0.01;
+  record[1] = 5.0;
+  record[2] = 10.0;
+  record[3] = 100.0;
+  record[4] = 1.0;
+  for (std::size_t i = 5; i < 37; ++i) record[i] = 0.04;
+  for (std::size_t i = 37; i < 43; ++i) record[i] = 0.2;
+  const double base = price_swaption(record.data(), 42, 2000, 20);
+  auto nearby = record;
+  for (auto& v : nearby) v *= 1.0 + 1e-12;
+  nearby[2] = record[2];  // keep integral fields exact
+  nearby[4] = record[4];
+  const double perturbed = price_swaption(nearby.data(), 42, 2000, 20);
+  EXPECT_NEAR(perturbed, base, std::abs(base) * 1e-6 + 1e-9);
+}
+
+TEST(Stencil, GridPatternsRepeatAcrossBlocks) {
+  BlockedGrid grid(4, 8);
+  grid.initialize(/*seed=*/1, /*patterns=*/4, /*wall_temp=*/100.0f);
+  // Pattern index = (bi*gb + bj) % 4: blocks (0,0) and (1,0) share pattern 0.
+  const float* a = grid.block(0, 0);
+  const float* b = grid.block(1, 0);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(a[i], b[i]);
+  // Blocks with different pattern indexes differ.
+  const float* c = grid.block(0, 1);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 64; ++i) any_diff |= a[i] != c[i];
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Stencil, WallHalosCarryEmissionTemperature) {
+  BlockedGrid grid(3, 4);
+  grid.initialize(1, 2, 75.0f);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(grid.halo_top(0, 1)[k], 75.0f);
+    EXPECT_EQ(grid.halo_bottom(2, 1)[k], 75.0f);
+    EXPECT_EQ(grid.halo_left(1, 0)[k], 75.0f);
+    EXPECT_EQ(grid.halo_right(1, 2)[k], 75.0f);
+    EXPECT_EQ(grid.halo_top(1, 1)[k], 0.0f);  // interior halo starts cold
+  }
+}
+
+TEST(Stencil, SweepConservesConstantField) {
+  // A constant field with matching halos is a fixed point of the stencil.
+  constexpr std::size_t bd = 6;
+  std::vector<float> block(bd * bd, 3.0f);
+  std::vector<float> halo(bd, 3.0f);
+  stencil_sweep_inplace(block.data(), halo.data(), halo.data(), halo.data(),
+                        halo.data(), bd, 3);
+  for (float v : block) EXPECT_FLOAT_EQ(v, 3.0f);
+}
+
+TEST(Stencil, JacobiMatchesManualAverage) {
+  constexpr std::size_t bd = 2;
+  // src = [[1,2],[3,4]], halos all zero.
+  std::vector<float> src{1, 2, 3, 4};
+  std::vector<float> dst(4, -1.0f);
+  std::vector<float> zero(bd, 0.0f);
+  stencil_sweep_jacobi(src.data(), zero.data(), zero.data(), zero.data(), zero.data(),
+                       dst.data(), bd, 1);
+  EXPECT_FLOAT_EQ(dst[0], 0.25f * (0 + 3 + 0 + 2));
+  EXPECT_FLOAT_EQ(dst[1], 0.25f * (0 + 4 + 1 + 0));
+  EXPECT_FLOAT_EQ(dst[2], 0.25f * (1 + 0 + 0 + 4));
+  EXPECT_FLOAT_EQ(dst[3], 0.25f * (2 + 0 + 3 + 0));
+}
+
+TEST(Stencil, CopyEdgeHelpers) {
+  constexpr std::size_t bd = 3;
+  std::vector<float> block{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> halo(3);
+  copy_edge_row(block.data(), 2, halo.data(), bd);
+  EXPECT_EQ(halo, (std::vector<float>{7, 8, 9}));
+  copy_edge_col(block.data(), 0, halo.data(), bd);
+  EXPECT_EQ(halo, (std::vector<float>{1, 4, 7}));
+}
+
+TEST(SparseLu, ResidualSmallWithoutAtm) {
+  const auto app = make_app("lu", Preset::Test);
+  const auto r = app->run({.threads = 2, .mode = AtmMode::Off});
+  ASSERT_GE(r.app_specific_error, 0.0);
+  EXPECT_LT(r.app_specific_error, 1e-8);  // numerically exact factorization
+}
+
+}  // namespace
+}  // namespace atm::apps

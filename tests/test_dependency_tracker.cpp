@@ -1,0 +1,235 @@
+// Tests for the interval-splitting dependence tracker: OmpSs semantics
+// (RAW, WAR, WAW), partial-overlap splitting, and a randomized property
+// test checking that every conflicting pair of tasks is ordered by the
+// reported dependence graph (possibly transitively).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "runtime/dependency_tracker.hpp"
+
+namespace atm::rt {
+namespace {
+
+class TrackerFixture : public ::testing::Test {
+ protected:
+  Task* make_task(std::vector<DataAccess> accesses) {
+    auto t = std::make_unique<Task>();
+    t->id = next_id_++;
+    t->accesses = std::move(accesses);
+    tasks_.push_back(std::move(t));
+    return tasks_.back().get();
+  }
+
+  std::vector<Task*> deps_of(Task* t) {
+    std::vector<Task*> deps;
+    tracker_.register_task(*t, deps);
+    return deps;
+  }
+
+  DependencyTracker tracker_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  TaskId next_id_ = 0;
+  float buf_[1024] = {};
+};
+
+TEST_F(TrackerFixture, ReadAfterWrite) {
+  Task* w = make_task({out(buf_, 100)});
+  EXPECT_TRUE(deps_of(w).empty());
+  Task* r = make_task({in(static_cast<const float*>(buf_), 100)});
+  const auto deps = deps_of(r);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], w);
+}
+
+TEST_F(TrackerFixture, WriteAfterRead) {
+  Task* w0 = make_task({out(buf_, 100)});
+  deps_of(w0);
+  Task* r = make_task({in(static_cast<const float*>(buf_), 100)});
+  deps_of(r);
+  Task* w1 = make_task({out(buf_, 100)});
+  const auto deps = deps_of(w1);
+  // WAR on the reader and WAW on the previous writer.
+  EXPECT_NE(std::find(deps.begin(), deps.end(), r), deps.end());
+  EXPECT_NE(std::find(deps.begin(), deps.end(), w0), deps.end());
+}
+
+TEST_F(TrackerFixture, WriteAfterWrite) {
+  Task* w0 = make_task({out(buf_, 100)});
+  deps_of(w0);
+  Task* w1 = make_task({out(buf_, 100)});
+  const auto deps = deps_of(w1);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], w0);
+}
+
+TEST_F(TrackerFixture, ReadersDoNotDependOnEachOther) {
+  Task* w = make_task({out(buf_, 100)});
+  deps_of(w);
+  Task* r1 = make_task({in(static_cast<const float*>(buf_), 100)});
+  Task* r2 = make_task({in(static_cast<const float*>(buf_), 100)});
+  const auto d1 = deps_of(r1);
+  const auto d2 = deps_of(r2);
+  EXPECT_EQ(d1, std::vector<Task*>{w});
+  EXPECT_EQ(d2, std::vector<Task*>{w});  // not on r1
+}
+
+TEST_F(TrackerFixture, DisjointRangesIndependent) {
+  Task* a = make_task({out(buf_, 100)});
+  deps_of(a);
+  Task* b = make_task({out(buf_ + 100, 100)});
+  EXPECT_TRUE(deps_of(b).empty());
+}
+
+TEST_F(TrackerFixture, PartialOverlapSplits) {
+  Task* a = make_task({out(buf_, 100)});       // [0, 100)
+  deps_of(a);
+  Task* b = make_task({out(buf_ + 50, 100)});  // [50, 150): overlaps tail
+  const auto deps = deps_of(b);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], a);
+  // A reader of the untouched prefix [0, 50) still depends on a only.
+  Task* r = make_task({in(static_cast<const float*>(buf_), 50)});
+  const auto rdeps = deps_of(r);
+  ASSERT_EQ(rdeps.size(), 1u);
+  EXPECT_EQ(rdeps[0], a);
+  // A reader of [50, 100) depends on the newest writer b.
+  Task* r2 = make_task({in(static_cast<const float*>(buf_) + 50, 50)});
+  const auto r2deps = deps_of(r2);
+  ASSERT_EQ(r2deps.size(), 1u);
+  EXPECT_EQ(r2deps[0], b);
+}
+
+TEST_F(TrackerFixture, InOutActsAsBoth) {
+  Task* w = make_task({out(buf_, 100)});
+  deps_of(w);
+  Task* io = make_task({inout(buf_, 100)});
+  const auto deps = deps_of(io);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], w);
+  // A subsequent reader sees io as the last writer.
+  Task* r = make_task({in(static_cast<const float*>(buf_), 100)});
+  const auto rdeps = deps_of(r);
+  ASSERT_EQ(rdeps.size(), 1u);
+  EXPECT_EQ(rdeps[0], io);
+}
+
+TEST_F(TrackerFixture, SelfDependenciesSkipped) {
+  Task* t = make_task({in(static_cast<const float*>(buf_), 100), out(buf_, 100)});
+  EXPECT_TRUE(deps_of(t).empty());
+}
+
+TEST_F(TrackerFixture, NoDuplicateDeps) {
+  Task* w = make_task({out(buf_, 100)});
+  deps_of(w);
+  // Reader touches two sub-ranges of w's segment: dep reported once.
+  Task* r = make_task({in(static_cast<const float*>(buf_), 30),
+                       in(static_cast<const float*>(buf_) + 40, 30)});
+  EXPECT_EQ(deps_of(r).size(), 1u);
+}
+
+TEST_F(TrackerFixture, EmptyRangeIgnored) {
+  Task* t = make_task({out(buf_, 0)});
+  EXPECT_TRUE(deps_of(t).empty());
+  EXPECT_EQ(tracker_.segment_count(), 0u);
+}
+
+TEST_F(TrackerFixture, ClearForgetsHistory) {
+  Task* w = make_task({out(buf_, 100)});
+  deps_of(w);
+  tracker_.clear();
+  Task* r = make_task({in(static_cast<const float*>(buf_), 100)});
+  EXPECT_TRUE(deps_of(r).empty());
+}
+
+TEST_F(TrackerFixture, GapAndOverlapMix) {
+  Task* a = make_task({out(buf_, 10)});         // [0,10)
+  Task* b = make_task({out(buf_ + 20, 10)});    // [20,30)
+  deps_of(a);
+  deps_of(b);
+  // c spans [0,30): depends on both, gap [10,20) is fresh.
+  Task* c = make_task({out(buf_, 30)});
+  auto deps = deps_of(c);
+  EXPECT_EQ(deps.size(), 2u);
+  EXPECT_NE(std::find(deps.begin(), deps.end(), a), deps.end());
+  EXPECT_NE(std::find(deps.begin(), deps.end(), b), deps.end());
+}
+
+// ---------------------------------------------------------------------------
+// Property test: for random access sequences, every conflicting pair (i, j)
+// (overlapping ranges, at least one writer) must be ordered by the reported
+// dependence graph, possibly transitively.
+// ---------------------------------------------------------------------------
+
+class TrackerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrackerPropertyTest, ConflictingPairsAreOrdered) {
+  const std::uint64_t seed = GetParam();
+  std::mt19937_64 rng(seed);
+  auto rnd = [&](std::uint64_t bound) { return rng() % bound; };
+
+  constexpr std::size_t kTasks = 60;
+  static float arena[512];
+
+  DependencyTracker tracker;
+  std::vector<std::unique_ptr<Task>> tasks;
+  std::vector<std::vector<std::size_t>> succ(kTasks);
+
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    auto t = std::make_unique<Task>();
+    t->id = i;
+    const std::size_t naccesses = 1 + rnd(3);
+    for (std::size_t a = 0; a < naccesses; ++a) {
+      const std::size_t start = rnd(480);
+      const std::size_t len = 1 + rnd(32);
+      const auto mode = static_cast<AccessMode>(rnd(3));
+      t->accesses.push_back(
+          {arena + start, len * sizeof(float), mode, ElemType::F32});
+    }
+    std::vector<Task*> deps;
+    tracker.register_task(*t, deps);
+    for (Task* d : deps) succ[d->id].push_back(i);
+    tasks.push_back(std::move(t));
+  }
+
+  // Reachability via DFS from each node (small graph).
+  std::vector<std::vector<bool>> reach(kTasks, std::vector<bool>(kTasks, false));
+  for (std::size_t i = kTasks; i-- > 0;) {
+    for (std::size_t s : succ[i]) {
+      reach[i][s] = true;
+      for (std::size_t k = 0; k < kTasks; ++k) {
+        if (reach[s][k]) reach[i][k] = true;
+      }
+    }
+  }
+
+  auto conflicts = [&](const Task& x, const Task& y) {
+    for (const auto& ax : x.accesses) {
+      for (const auto& ay : y.accesses) {
+        const bool overlap = ax.begin() < ay.end() && ay.begin() < ax.end();
+        if (overlap && (ax.is_output() || ay.is_output())) return true;
+      }
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    for (std::size_t j = i + 1; j < kTasks; ++j) {
+      if (conflicts(*tasks[i], *tasks[j])) {
+        EXPECT_TRUE(reach[i][j]) << "conflicting tasks " << i << " -> " << j
+                                 << " not ordered (seed " << seed << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, TrackerPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace atm::rt

@@ -1,0 +1,305 @@
+// End-to-end tests of the ATM engine attached to the runtime: exact
+// memoization (Static), in-flight deferral (IKT), the Dynamic training
+// phase with tau-gated p doubling and output blacklisting, FixedP oracle
+// behaviour, and statistics/memory accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "atm_lib.hpp"
+
+namespace atm {
+namespace {
+
+using rt::Runtime;
+using rt::RuntimeConfig;
+using rt::TaskTypeDesc;
+
+TEST(Engine, StaticMemoizesExactTwin) {
+  AtmEngine engine({.mode = AtmMode::Static});
+  Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "square", .memoizable = true, .atm = {}});
+
+  std::vector<double> input{1.0, 2.0, 3.0};
+  std::vector<double> out1(3), out2(3);
+  std::atomic<int> executions{0};
+
+  auto body = [&](std::vector<double>& out) {
+    return [&input, &out, &executions] {
+      executions.fetch_add(1);
+      for (std::size_t i = 0; i < input.size(); ++i) out[i] = input[i] * input[i];
+    };
+  };
+  runtime.submit(type, body(out1), {rt::in(input.data(), 3), rt::out(out1.data(), 3)});
+  runtime.taskwait();
+  runtime.submit(type, body(out2), {rt::in(input.data(), 3), rt::out(out2.data(), 3)});
+  runtime.taskwait();
+
+  EXPECT_EQ(executions.load(), 1);  // the twin was served from the THT
+  EXPECT_EQ(out1, out2);
+  EXPECT_EQ(runtime.counters().memoized, 1u);
+  EXPECT_EQ(engine.stats().tht_hits, 1u);
+  ASSERT_EQ(engine.stats().reuse_creators.size(), 1u);
+  EXPECT_EQ(engine.stats().reuse_creators[0], 0u);  // created by task id 0
+}
+
+TEST(Engine, StaticDistinguishesDifferentInputs) {
+  AtmEngine engine({.mode = AtmMode::Static});
+  Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "copy", .memoizable = true, .atm = {}});
+
+  double in1 = 5.0, in2 = 6.0, out1 = 0, out2 = 0;
+  runtime.submit(type, [&] { out1 = in1; },
+                 {rt::in(&in1, 1), rt::out(&out1, 1)});
+  runtime.taskwait();
+  runtime.submit(type, [&] { out2 = in2; },
+                 {rt::in(&in2, 1), rt::out(&out2, 1)});
+  runtime.taskwait();
+  EXPECT_EQ(out1, 5.0);
+  EXPECT_EQ(out2, 6.0);
+  EXPECT_EQ(runtime.counters().memoized, 0u);
+}
+
+TEST(Engine, OffModeNeverInterferes) {
+  AtmEngine engine({.mode = AtmMode::Off});
+  Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "t", .memoizable = true, .atm = {}});
+  double in = 1.0, out = 0;
+  std::atomic<int> executions{0};
+  for (int i = 0; i < 3; ++i) {
+    runtime.submit(type, [&] { executions.fetch_add(1); out = in; },
+                   {rt::in(&in, 1), rt::out(&out, 1)});
+    runtime.taskwait();
+  }
+  EXPECT_EQ(executions.load(), 3);
+  EXPECT_EQ(engine.stats().keys_computed, 0u);
+}
+
+TEST(Engine, NonMemoizableTypeBypassed) {
+  AtmEngine engine({.mode = AtmMode::Static});
+  Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "t", .memoizable = false, .atm = {}});
+  double in = 1.0, out = 0;
+  std::atomic<int> executions{0};
+  for (int i = 0; i < 2; ++i) {
+    runtime.submit(type, [&] { executions.fetch_add(1); out = in; },
+                   {rt::in(&in, 1), rt::out(&out, 1)});
+    runtime.taskwait();
+  }
+  EXPECT_EQ(executions.load(), 2);
+  EXPECT_EQ(engine.stats().keys_computed, 0u);
+}
+
+TEST(Engine, IktDefersOntoInFlightTwin) {
+  AtmEngine engine({.mode = AtmMode::Static, .use_ikt = true});
+  Runtime runtime({.num_threads = 2});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "slow", .memoizable = true, .atm = {}});
+
+  std::vector<double> input{4.0};
+  double out1 = 0, out2 = 0;
+  std::atomic<int> executions{0};
+  auto slow_body = [&](double* out) {
+    return [&input, out, &executions] {
+      executions.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      *out = input[0] * 10.0;
+    };
+  };
+  // Both submitted back to back: the second finds the first in flight.
+  runtime.submit(type, slow_body(&out1), {rt::in(input.data(), 1), rt::out(&out1, 1)});
+  runtime.submit(type, slow_body(&out2), {rt::in(input.data(), 1), rt::out(&out2, 1)});
+  runtime.taskwait();
+
+  EXPECT_EQ(executions.load(), 1);
+  EXPECT_EQ(out1, 40.0);
+  EXPECT_EQ(out2, 40.0);
+  EXPECT_EQ(runtime.counters().deferred, 1u);
+  EXPECT_EQ(engine.stats().ikt_hits, 1u);
+}
+
+TEST(Engine, IktDisabledExecutesTwinsConcurrently) {
+  AtmEngine engine({.mode = AtmMode::Static, .use_ikt = false});
+  Runtime runtime({.num_threads = 2});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "slow", .memoizable = true, .atm = {}});
+  std::vector<double> input{4.0};
+  double out1 = 0, out2 = 0;
+  std::atomic<int> executions{0};
+  auto body = [&](double* out) {
+    return [&input, out, &executions] {
+      executions.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      *out = input[0];
+    };
+  };
+  runtime.submit(type, body(&out1), {rt::in(input.data(), 1), rt::out(&out1, 1)});
+  runtime.submit(type, body(&out2), {rt::in(input.data(), 1), rt::out(&out2, 1)});
+  runtime.taskwait();
+  EXPECT_EQ(executions.load(), 2);  // redundant execution, but correct
+  EXPECT_EQ(out1, out2);
+}
+
+TEST(Engine, DynamicTrainsThenMemoizes) {
+  AtmEngine engine({.mode = AtmMode::Dynamic});
+  Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "t", .memoizable = true, .atm = {.l_training = 1, .tau_max = 0.01}});
+
+  std::vector<double> input{2.0, 3.0};
+  std::vector<double> outs(4, 0.0);
+  std::atomic<int> executions{0};
+  auto submit_one = [&](int i) {
+    double* out = &outs[i];
+    runtime.submit(type,
+                   [&input, out, &executions] {
+                     executions.fetch_add(1);
+                     *out = input[0] + input[1];
+                   },
+                   {rt::in(input.data(), 2), rt::out(out, 1)});
+    runtime.taskwait();
+  };
+  submit_one(0);  // miss, executes, inserts
+  EXPECT_EQ(engine.phase(*type), TrainingPhase::Training);
+  submit_one(1);  // training hit: executes, verifies, streak -> steady
+  EXPECT_EQ(executions.load(), 2);
+  EXPECT_EQ(engine.phase(*type), TrainingPhase::Steady);
+  submit_one(2);  // steady hit: memoized
+  EXPECT_EQ(executions.load(), 2);
+  EXPECT_EQ(outs[2], 5.0);
+  EXPECT_EQ(engine.stats().training_hits, 1u);
+  EXPECT_EQ(engine.stats().tht_hits, 1u);
+  EXPECT_DOUBLE_EQ(engine.current_p(*type), kMinP);  // never had to grow
+}
+
+TEST(Engine, DynamicFailureDoublesPAndBlacklists) {
+  AtmEngine engine({.mode = AtmMode::Dynamic, .type_aware = true});
+  Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "chaotic", .memoizable = true, .atm = {.l_training = 100, .tau_max = 0.01}});
+
+  // Two inputs that differ only in low-order mantissa bytes: at p = 2^-15
+  // (1 sampled byte, the MSB) their keys collide, but the task output
+  // amplifies the difference -> tau >> tau_max.
+  std::vector<double> in_a(8, 1.0);
+  std::vector<double> in_b(8, 1.0);
+  in_b[7] = 1.0 + 1e-13;
+  double out_a = 0, out_b = 0;
+
+  runtime.submit(type, [&] { out_a = (in_a[7] - 1.0) * 1e15; },
+                 {rt::in(in_a.data(), 8), rt::out(&out_a, 1)});
+  runtime.taskwait();
+  runtime.submit(type, [&] { out_b = (in_b[7] - 1.0) * 1e15; },
+                 {rt::in(in_b.data(), 8), rt::out(&out_b, 1)});
+  runtime.taskwait();
+
+  EXPECT_EQ(engine.stats().training_hits, 1u);
+  EXPECT_EQ(engine.stats().training_failures, 1u);
+  EXPECT_DOUBLE_EQ(engine.current_p(*type), 2 * kMinP);
+  EXPECT_EQ(engine.blacklist_size(*type), 1u);
+
+  // The blacklisted output pointer is never memoized again.
+  runtime.submit(type, [&] { out_b = 7.0; },
+                 {rt::in(in_b.data(), 8), rt::out(&out_b, 1)});
+  runtime.taskwait();
+  EXPECT_GE(engine.stats().blacklist_skips, 1u);
+  EXPECT_EQ(out_b, 7.0);
+}
+
+TEST(Engine, FixedPUsesConstantPImmediately) {
+  AtmEngine engine({.mode = AtmMode::FixedP, .fixed_p = 0.25});
+  Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "t", .memoizable = true, .atm = {}});
+  std::vector<double> input{1.0, 2.0, 3.0, 4.0};
+  double out1 = 0, out2 = 0;
+  std::atomic<int> executions{0};
+  auto body = [&](double* o) {
+    return [&input, o, &executions] {
+      executions.fetch_add(1);
+      *o = input[0];
+    };
+  };
+  runtime.submit(type, body(&out1), {rt::in(input.data(), 4), rt::out(&out1, 1)});
+  runtime.taskwait();
+  runtime.submit(type, body(&out2), {rt::in(input.data(), 4), rt::out(&out2, 1)});
+  runtime.taskwait();
+  EXPECT_EQ(executions.load(), 1);  // no training phase: hit right away
+  EXPECT_EQ(engine.phase(*type), TrainingPhase::Steady);
+  EXPECT_DOUBLE_EQ(engine.current_p(*type), 0.25);
+}
+
+TEST(Engine, ThtPersistsAcrossTaskwait) {
+  // The paper's iterative apps rely on reuse across barriers.
+  AtmEngine engine({.mode = AtmMode::Static});
+  Runtime runtime({.num_threads = 2});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "t", .memoizable = true, .atm = {}});
+  std::vector<float> input(256, 1.5f);
+  std::vector<float> out(256);
+  std::atomic<int> executions{0};
+  for (int round = 0; round < 5; ++round) {
+    runtime.submit(type,
+                   [&] {
+                     executions.fetch_add(1);
+                     for (std::size_t i = 0; i < input.size(); ++i) out[i] = 2 * input[i];
+                   },
+                   {rt::in(input.data(), input.size()), rt::out(out.data(), out.size())});
+    runtime.taskwait();
+  }
+  EXPECT_EQ(executions.load(), 1);
+  EXPECT_EQ(runtime.counters().memoized, 4u);
+}
+
+TEST(Engine, MemoryAccountingIncludesAllStructures) {
+  AtmEngine engine({.mode = AtmMode::Static, .arena_reserve_bytes = 0});
+  Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "t", .memoizable = true, .atm = {}});
+  const std::size_t before = engine.memory_bytes();
+  std::vector<float> input(1024, 1.0f);
+  std::vector<float> out(1024);
+  runtime.submit(type,
+                 [&] {
+                   for (std::size_t i = 0; i < out.size(); ++i) out[i] = input[i];
+                 },
+                 {rt::in(input.data(), 1024), rt::out(out.data(), 1024)});
+  runtime.taskwait();
+  EXPECT_GE(engine.memory_bytes(), before + 4096);  // snapshot + sampler order
+}
+
+TEST(Engine, StatsResetClearsCounters) {
+  AtmEngine engine({.mode = AtmMode::Static});
+  Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "t", .memoizable = true, .atm = {}});
+  double in = 1, out = 0;
+  runtime.submit(type, [&] { out = in; }, {rt::in(&in, 1), rt::out(&out, 1)});
+  runtime.taskwait();
+  EXPECT_GT(engine.stats().keys_computed, 0u);
+  engine.reset_stats();
+  EXPECT_EQ(engine.stats().keys_computed, 0u);
+  EXPECT_TRUE(engine.stats().reuse_creators.empty());
+}
+
+}  // namespace
+}  // namespace atm

@@ -1,0 +1,142 @@
+// Documented-limitation tests (paper §III-E): what goes wrong when the
+// programmer violates ATM's contract. These tests *assert the failure
+// modes manifest as the paper describes* — they are executable
+// documentation, not bugs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "atm_lib.hpp"
+
+namespace atm {
+namespace {
+
+TEST(FailureModes, UndeclaredOutputGoesStaleWhenMemoized) {
+  // "If a variable is modified by a task, but not specified in the data
+  // outputs ... then task approximation will provide wrong results."
+  AtmEngine engine({.mode = AtmMode::Static});
+  rt::Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "leaky", .memoizable = true, .atm = {}});
+
+  double in = 1.0;
+  double declared = 0.0;
+  double undeclared = 0.0;  // written by the task but not annotated
+
+  auto body = [&] {
+    declared = in * 2;
+    undeclared += 1.0;  // side effect invisible to the runtime
+  };
+  runtime.submit(type, body, {rt::in(&in, 1), rt::out(&declared, 1)});
+  runtime.taskwait();
+  runtime.submit(type, body, {rt::in(&in, 1), rt::out(&declared, 1)});
+  runtime.taskwait();
+
+  EXPECT_EQ(runtime.counters().memoized, 1u);
+  EXPECT_EQ(declared, 2.0);     // the declared output is served correctly
+  EXPECT_EQ(undeclared, 1.0);   // the hidden side effect DID NOT happen again
+}
+
+TEST(FailureModes, NonDeterministicTaskGetsFirstResultReplayed) {
+  // "Task execution has to be deterministic ... tasks that make use of
+  // random values should not use ATM."
+  AtmEngine engine({.mode = AtmMode::Static});
+  rt::Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "racy", .memoizable = true, .atm = {}});
+
+  double in = 1.0;
+  static std::atomic<int> global_counter{0};
+  global_counter = 0;
+  double out1 = 0, out2 = 0;
+
+  auto body = [&](double* out) {
+    return [&in, out] { *out = in + global_counter.fetch_add(1); };
+  };
+  runtime.submit(type, body(&out1), {rt::in(&in, 1), rt::out(&out1, 1)});
+  runtime.taskwait();
+  runtime.submit(type, body(&out2), {rt::in(&in, 1), rt::out(&out2, 1)});
+  runtime.taskwait();
+
+  // Without ATM, out2 would be 2.0 (counter advanced). With memoization the
+  // first result is replayed: identical inputs => identical (stale) output.
+  EXPECT_EQ(out1, 1.0);
+  EXPECT_EQ(out2, 1.0);
+  EXPECT_EQ(global_counter.load(), 1);
+}
+
+TEST(FailureModes, ZeroInputTasksAllShareOneKey) {
+  // A task type with no declared inputs hashes an empty byte string: every
+  // instance aliases. The first result is replayed for all of them —
+  // consistent, and exactly why inputs must be fully declared.
+  AtmEngine engine({.mode = AtmMode::Static});
+  rt::Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "noin", .memoizable = true, .atm = {}});
+
+  double out1 = 0, out2 = 0;
+  runtime.submit(type, [&] { out1 = 11.0; }, {rt::out(&out1, 1)});
+  runtime.taskwait();
+  runtime.submit(type, [&] { out2 = 22.0; }, {rt::out(&out2, 1)});
+  runtime.taskwait();
+  EXPECT_EQ(out1, 11.0);
+  EXPECT_EQ(out2, 11.0);  // replayed, body never ran
+  EXPECT_EQ(runtime.counters().memoized, 1u);
+}
+
+TEST(FailureModes, OutputShapeChangeIsDetectedNotCorrupted) {
+  // Same type + same input bytes but a different output size: the stored
+  // snapshot must NOT be splatted over the smaller buffer. The engine
+  // treats shape mismatch as a miss and executes.
+  AtmEngine engine({.mode = AtmMode::Static});
+  rt::Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "shapes", .memoizable = true, .atm = {}});
+
+  std::vector<double> in{1.0, 2.0};
+  std::vector<double> big(4), small(2);
+  std::atomic<int> executions{0};
+  runtime.submit(type,
+                 [&] {
+                   executions.fetch_add(1);
+                   for (auto& v : big) v = 9.0;
+                 },
+                 {rt::in(in.data(), 2), rt::out(big.data(), 4)});
+  runtime.taskwait();
+  runtime.submit(type,
+                 [&] {
+                   executions.fetch_add(1);
+                   for (auto& v : small) v = 5.0;
+                 },
+                 {rt::in(in.data(), 2), rt::out(small.data(), 2)});
+  runtime.taskwait();
+  EXPECT_EQ(executions.load(), 2);  // no false sharing across shapes
+  EXPECT_EQ(small[0], 5.0);
+  EXPECT_EQ(small[1], 5.0);
+}
+
+TEST(FailureModes, AliasedOutputStillCompletesGraph) {
+  // Two identical tasks writing the SAME output region: the dependence
+  // tracker serializes them; the second memoizes from the first. The final
+  // buffer content equals a serial execution's.
+  AtmEngine engine({.mode = AtmMode::Static});
+  rt::Runtime runtime({.num_threads = 2});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "same_out", .memoizable = true, .atm = {}});
+  std::vector<double> in{2.0};
+  double out = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    runtime.submit(type, [&] { out = in[0] * 3; },
+                   {rt::in(in.data(), 1), rt::out(&out, 1)});
+  }
+  runtime.taskwait();
+  EXPECT_EQ(out, 6.0);
+}
+
+}  // namespace
+}  // namespace atm

@@ -1,0 +1,168 @@
+// Tests for the input sampler (§III-B/C): index orders are permutations,
+// cached per (type, layout), deterministic, and type-aware orders protect
+// most-significant bytes first.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "atm/input_sampler.hpp"
+
+namespace atm {
+namespace {
+
+using rt::ElemType;
+
+InputLayout layout_of(std::initializer_list<InputLayout::Region> regions) {
+  InputLayout l;
+  l.regions.assign(regions.begin(), regions.end());
+  return l;
+}
+
+bool is_permutation_of_iota(const std::vector<std::uint32_t>& order, std::size_t n) {
+  if (order.size() != n) return false;
+  std::vector<std::uint32_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sorted[i] != i) return false;
+  }
+  return true;
+}
+
+TEST(SelectionCount, EdgeCases) {
+  EXPECT_EQ(selection_count(0, 0.5), 0u);
+  EXPECT_EQ(selection_count(100, 1.0), 100u);
+  EXPECT_EQ(selection_count(100, 2.0), 100u);
+  EXPECT_EQ(selection_count(100, 0.5), 50u);
+  EXPECT_EQ(selection_count(100, 0.001), 1u);     // at least one byte
+  EXPECT_EQ(selection_count(100, 1.0 / 32768), 1u);
+  EXPECT_EQ(selection_count(1 << 20, 1.0 / 32768), 32u);
+  EXPECT_EQ(selection_count(3, 0.34), 2u);        // ceil
+}
+
+TEST(InputLayout, FromTaskTakesInputsOnly) {
+  float fa[4];
+  double db[2];
+  int ic[8];
+  rt::Task t;
+  t.accesses = {rt::in(static_cast<const float*>(fa), 4), rt::out(db, 2),
+                rt::inout(ic, 8)};
+  const InputLayout l = InputLayout::from_task(t);
+  ASSERT_EQ(l.regions.size(), 2u);  // in + inout, not out
+  EXPECT_EQ(l.regions[0].bytes, 16u);
+  EXPECT_EQ(l.regions[0].elem, ElemType::F32);
+  EXPECT_EQ(l.regions[1].bytes, 32u);
+  EXPECT_EQ(l.regions[1].elem, ElemType::I32);
+  EXPECT_EQ(l.total_bytes(), 48u);
+}
+
+TEST(InputLayout, FingerprintSensitiveToShape) {
+  const auto a = layout_of({{16, ElemType::F32}});
+  const auto b = layout_of({{16, ElemType::F64}});
+  const auto c = layout_of({{32, ElemType::F32}});
+  const auto d = layout_of({{8, ElemType::F32}, {8, ElemType::F32}});
+  std::set<std::uint64_t> prints{a.fingerprint(), b.fingerprint(), c.fingerprint(),
+                                 d.fingerprint()};
+  EXPECT_EQ(prints.size(), 4u);
+}
+
+TEST(InputSampler, OrderIsPermutation) {
+  InputSampler sampler(/*type_aware=*/false, 1);
+  const auto layout = layout_of({{100, ElemType::U8}, {60, ElemType::F32}});
+  const auto& order = sampler.order_for(0, layout);
+  EXPECT_TRUE(is_permutation_of_iota(order, 160));
+}
+
+TEST(InputSampler, TypeAwareOrderIsPermutation) {
+  InputSampler sampler(/*type_aware=*/true, 1);
+  const auto layout = layout_of({{100, ElemType::F32}, {64, ElemType::F64}});
+  const auto& order = sampler.order_for(0, layout);
+  EXPECT_TRUE(is_permutation_of_iota(order, 164));
+}
+
+TEST(InputSampler, CachedPerTypeAndLayout) {
+  InputSampler sampler(true, 1);
+  const auto layout = layout_of({{64, ElemType::F32}});
+  const auto& a = sampler.order_for(0, layout);
+  const auto& b = sampler.order_for(0, layout);
+  EXPECT_EQ(&a, &b);  // same cached vector
+  EXPECT_EQ(sampler.cache_entries(), 1u);
+  sampler.order_for(1, layout);  // different type: new entry
+  EXPECT_EQ(sampler.cache_entries(), 2u);
+}
+
+TEST(InputSampler, DifferentTypesGetDifferentShuffles) {
+  InputSampler sampler(false, 1);
+  const auto layout = layout_of({{256, ElemType::U8}});
+  EXPECT_NE(sampler.order_for(0, layout), sampler.order_for(1, layout));
+}
+
+TEST(InputSampler, DeterministicAcrossInstances) {
+  const auto layout = layout_of({{256, ElemType::F32}});
+  InputSampler a(true, 42), b(true, 42);
+  EXPECT_EQ(a.order_for(3, layout), b.order_for(3, layout));
+  InputSampler c(true, 43);
+  EXPECT_NE(a.order_for(3, layout), c.order_for(3, layout));
+}
+
+TEST(InputSampler, TypeAwareMsbFirstForF32) {
+  // Little-endian f32: byte 3 of each element is the MSB (sign+exponent).
+  InputSampler sampler(true, 7);
+  constexpr std::size_t kElems = 64;
+  const auto layout = layout_of({{kElems * 4, ElemType::F32}});
+  const auto& order = sampler.order_for(0, layout);
+  // The first kElems indexes must all be MSB positions (i*4+3).
+  for (std::size_t i = 0; i < kElems; ++i) {
+    EXPECT_EQ(order[i] % 4, 3u) << "rank-0 slot " << i;
+  }
+  // The next kElems are the second-most-significant bytes.
+  for (std::size_t i = kElems; i < 2 * kElems; ++i) {
+    EXPECT_EQ(order[i] % 4, 2u) << "rank-1 slot " << i;
+  }
+}
+
+TEST(InputSampler, TypeAwareMixedLayoutRanks) {
+  // f64 elements have 8 ranks, f32 four: rank 0 slots are the MSBs of both.
+  InputSampler sampler(true, 8);
+  const auto layout = layout_of({{4 * 4, ElemType::F32}, {2 * 8, ElemType::F64}});
+  const auto& order = sampler.order_for(0, layout);
+  // rank 0 population: 4 f32 MSBs + 2 f64 MSBs = 6 indexes.
+  std::set<std::uint32_t> rank0(order.begin(), order.begin() + 6);
+  const std::set<std::uint32_t> expected{3, 7, 11, 15, 16 + 7, 16 + 15};
+  EXPECT_EQ(rank0, expected);
+}
+
+TEST(InputSampler, TypeAwareU8AllRankZero) {
+  InputSampler sampler(true, 9);
+  const auto layout = layout_of({{32, ElemType::U8}});
+  const auto& order = sampler.order_for(0, layout);
+  EXPECT_TRUE(is_permutation_of_iota(order, 32));
+}
+
+TEST(InputSampler, MemoryAccountingGrows) {
+  InputSampler sampler(true, 10);
+  EXPECT_EQ(sampler.memory_bytes(), 0u);
+  sampler.order_for(0, layout_of({{1024, ElemType::F32}}));
+  EXPECT_GE(sampler.memory_bytes(), 1024 * sizeof(std::uint32_t));
+}
+
+class SamplerLayoutSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int, bool>> {};
+
+TEST_P(SamplerLayoutSweep, PermutationForAllShapes) {
+  const auto [bytes, elem_idx, type_aware] = GetParam();
+  const ElemType elems[] = {ElemType::U8, ElemType::I32, ElemType::F32, ElemType::F64};
+  InputSampler sampler(type_aware, 11);
+  const auto layout = layout_of({{bytes, elems[elem_idx]}});
+  const auto& order = sampler.order_for(0, layout);
+  EXPECT_TRUE(is_permutation_of_iota(order, bytes));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SamplerLayoutSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 3, 8, 17, 256, 4096),
+                       ::testing::Values(0, 1, 2, 3), ::testing::Bool()));
+
+}  // namespace
+}  // namespace atm

@@ -1,0 +1,112 @@
+// Tests for the deterministic RNG (common/rng.hpp): reproducibility,
+// bounds, bias, and shuffle permutation properties. ATM's sampled keys and
+// every workload generator depend on these invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace atm {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroAndOne) {
+  Rng rng(4);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(5);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kSamples / kBuckets * 0.9);
+    EXPECT_LT(c, kSamples / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(6);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, FloatsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = rng.next_float(2.0f, 5.0f);
+    EXPECT_GE(f, 2.0f);
+    EXPECT_LT(f, 5.0f);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(8);
+  std::vector<int> v(1000);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(9);
+  std::vector<int> v(1000);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  int fixed_points = 0;
+  for (int i = 0; i < 1000; ++i) fixed_points += v[i] == i;
+  EXPECT_LT(fixed_points, 20);  // expected ~1 fixed point
+}
+
+TEST(Rng, ShuffleDeterministicPerSeed) {
+  std::vector<int> a(100), b(100);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  Rng ra(10), rb(10);
+  ra.shuffle(a);
+  rb.shuffle(b);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace atm

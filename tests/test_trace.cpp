@@ -1,0 +1,124 @@
+// Tests for the trace recorder behind Figures 7 and 8.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/timing.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/trace.hpp"
+
+namespace atm::rt {
+namespace {
+
+TEST(Trace, DisabledRecorderIgnoresEverything) {
+  TraceRecorder rec(3, /*enabled=*/false);
+  rec.record(0, TraceState::TaskExec, 10, 20);
+  rec.sample_depth(5, 3);
+  EXPECT_TRUE(rec.lane(0).empty());
+  EXPECT_TRUE(rec.depth_samples().empty());
+}
+
+TEST(Trace, RecordsEventsPerLane) {
+  TraceRecorder rec(3, true);
+  rec.record(0, TraceState::TaskExec, 10, 30);
+  rec.record(0, TraceState::Idle, 30, 40);
+  rec.record(1, TraceState::HashKey, 12, 14);
+  EXPECT_EQ(rec.lane(0).size(), 2u);
+  EXPECT_EQ(rec.lane(1).size(), 1u);
+  EXPECT_EQ(rec.lane(2).size(), 0u);
+}
+
+TEST(Trace, LaneSummaryAggregates) {
+  TraceRecorder rec(2, true);
+  rec.record(0, TraceState::TaskExec, 0, 100);
+  rec.record(0, TraceState::TaskExec, 100, 150);
+  rec.record(0, TraceState::Memoize, 150, 160);
+  const LaneSummary s = rec.summarize_lane(0);
+  EXPECT_EQ(s.total_ns[static_cast<int>(TraceState::TaskExec)], 150u);
+  EXPECT_EQ(s.event_count[static_cast<int>(TraceState::TaskExec)], 2u);
+  EXPECT_DOUBLE_EQ(s.mean_ns(TraceState::TaskExec), 75.0);
+  EXPECT_EQ(s.total_ns[static_cast<int>(TraceState::Memoize)], 10u);
+}
+
+TEST(Trace, SummarizeAllMergesLanes) {
+  TraceRecorder rec(2, true);
+  rec.record(0, TraceState::TaskExec, 0, 10);
+  rec.record(1, TraceState::TaskExec, 0, 20);
+  const LaneSummary s = rec.summarize_all();
+  EXPECT_EQ(s.total_ns[static_cast<int>(TraceState::TaskExec)], 30u);
+}
+
+TEST(Trace, DepthSamplesSortedByTime) {
+  TraceRecorder rec(1, true);
+  rec.sample_depth(30, 1);
+  rec.sample_depth(10, 2);
+  rec.sample_depth(20, 3);
+  const auto samples = rec.depth_samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_LE(samples[0].t, samples[1].t);
+  EXPECT_LE(samples[1].t, samples[2].t);
+}
+
+TEST(Trace, FirstLastEventTimes) {
+  TraceRecorder rec(2, true);
+  rec.record(0, TraceState::TaskExec, 100, 200);
+  rec.record(1, TraceState::Idle, 50, 300);
+  EXPECT_EQ(rec.first_event_ns(), 50u);
+  EXPECT_EQ(rec.last_event_ns(), 300u);
+}
+
+TEST(Trace, AsciiTimelineHasOneRowPerLane) {
+  TraceRecorder rec(3, true);
+  rec.record(0, TraceState::TaskExec, 0, 1000);
+  rec.record(1, TraceState::Idle, 0, 1000);
+  rec.record(2, TraceState::Creation, 0, 1000);
+  const std::string timeline = rec.ascii_timeline(40);
+  EXPECT_EQ(std::count(timeline.begin(), timeline.end(), '\n'), 3);
+  EXPECT_NE(timeline.find('X'), std::string::npos);  // exec glyph
+  EXPECT_NE(timeline.find("master"), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  TraceRecorder rec(1, true);
+  rec.record(0, TraceState::TaskExec, 0, 10);
+  rec.sample_depth(1, 1);
+  rec.clear();
+  EXPECT_TRUE(rec.lane(0).empty());
+  EXPECT_TRUE(rec.depth_samples().empty());
+}
+
+TEST(Trace, TraceScopeRecordsInterval) {
+  TraceRecorder rec(1, true);
+  {
+    TraceScope scope(&rec, 0, TraceState::HashKey);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(rec.lane(0).size(), 1u);
+  const TraceEvent& e = rec.lane(0)[0];
+  EXPECT_EQ(e.state, TraceState::HashKey);
+  EXPECT_GE(e.t1 - e.t0, 1'000'000u);  // at least 1 ms
+}
+
+TEST(Trace, RuntimeProducesTraceWhenEnabled) {
+  Runtime rt({.num_threads = 2, .enable_tracing = true});
+  const auto* type = rt.register_type({.name = "t", .memoizable = false, .atm = {}});
+  int data = 0;
+  for (int i = 0; i < 10; ++i) {
+    rt.submit(type, [&] { std::this_thread::sleep_for(std::chrono::microseconds(200)); },
+              {inout(&data, 1)});
+  }
+  rt.taskwait();
+  const LaneSummary all = rt.tracer().summarize_all();
+  EXPECT_EQ(all.event_count[static_cast<int>(TraceState::TaskExec)], 10u);
+  EXPECT_GT(all.event_count[static_cast<int>(TraceState::Creation)], 0u);
+  EXPECT_FALSE(rt.tracer().depth_samples().empty());
+}
+
+TEST(Trace, StateNamesStable) {
+  EXPECT_STREQ(trace_state_name(TraceState::Idle), "Idle");
+  EXPECT_STREQ(trace_state_name(TraceState::HashKey), "ATM:HashKey");
+  EXPECT_STREQ(trace_state_name(TraceState::Memoize), "ATM:Memoize");
+}
+
+}  // namespace
+}  // namespace atm::rt

@@ -1,0 +1,171 @@
+// atm_run — command-line driver for the ATM benchmarks.
+//
+//   atm_run [app] [options]
+//
+//   app                    blackscholes | gauss-seidel | jacobi | kmeans |
+//                          lu | swaptions | all            (default: all)
+//   --mode=M               off | static | dynamic | fixed  (default: static)
+//   --p=F                  fixed-p value for --mode=fixed   (default: 1.0)
+//   --threads=N            worker threads                   (default: 2)
+//   --preset=P             test | bench | paper             (default: bench)
+//   --no-ikt               disable the In-flight Key Table
+//   --no-type-aware        uniform byte shuffling (§III-C off)
+//   --verify-full-inputs   §III-E full-input check on exact hits
+//   --lru                  LRU eviction instead of FIFO
+//   --n=K  --m=K           THT sizing: 2^n buckets, m entries per bucket
+//   --trace                print the per-core ASCII timeline
+//   --baseline             also run mode=off and report speedup/correctness
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "apps/app_registry.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace atm;
+using namespace atm::apps;
+
+struct Options {
+  std::string app = "all";
+  RunConfig config{.threads = 2, .mode = AtmMode::Static};
+  Preset preset = Preset::Bench;
+  bool trace = false;
+  bool baseline = false;
+};
+
+bool parse_flag(const char* arg, const char* name, const char** value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  if (arg[n] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [app] [--mode=off|static|dynamic|fixed] [--p=F]\n"
+               "          [--threads=N] [--preset=test|bench|paper] [--no-ikt]\n"
+               "          [--no-type-aware] [--verify-full-inputs] [--lru]\n"
+               "          [--n=K] [--m=K] [--trace] [--baseline]\n",
+               argv0);
+  return 2;
+}
+
+bool parse(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (arg[0] != '-') {
+      opts->app = arg;
+    } else if (parse_flag(arg, "--mode", &value)) {
+      const std::string m = value;
+      if (m == "off") opts->config.mode = AtmMode::Off;
+      else if (m == "static") opts->config.mode = AtmMode::Static;
+      else if (m == "dynamic") opts->config.mode = AtmMode::Dynamic;
+      else if (m == "fixed") opts->config.mode = AtmMode::FixedP;
+      else return false;
+    } else if (parse_flag(arg, "--p", &value)) {
+      opts->config.fixed_p = std::strtod(value, nullptr);
+    } else if (parse_flag(arg, "--threads", &value)) {
+      opts->config.threads = static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+    } else if (parse_flag(arg, "--preset", &value)) {
+      const std::string p = value;
+      if (p == "test") opts->preset = Preset::Test;
+      else if (p == "bench") opts->preset = Preset::Bench;
+      else if (p == "paper") opts->preset = Preset::Paper;
+      else return false;
+    } else if (parse_flag(arg, "--no-ikt", &value)) {
+      opts->config.use_ikt = false;
+    } else if (parse_flag(arg, "--no-type-aware", &value)) {
+      opts->config.type_aware = false;
+    } else if (parse_flag(arg, "--verify-full-inputs", &value)) {
+      opts->config.verify_full_inputs = true;
+    } else if (parse_flag(arg, "--lru", &value)) {
+      opts->config.eviction = EvictionPolicy::Lru;
+    } else if (parse_flag(arg, "--n", &value)) {
+      opts->config.log2_buckets = static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+    } else if (parse_flag(arg, "--m", &value)) {
+      opts->config.bucket_capacity =
+          static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+    } else if (parse_flag(arg, "--trace", &value)) {
+      opts->trace = true;
+      opts->config.tracing = true;
+    } else if (parse_flag(arg, "--baseline", &value)) {
+      opts->baseline = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+void run_one(const App& app, const Options& opts, TablePrinter* table) {
+  RunResult baseline;
+  if (opts.baseline) {
+    RunConfig off = opts.config;
+    off.mode = AtmMode::Off;
+    off.tracing = false;
+    baseline = app.run(off);
+  }
+  const RunResult run = app.run(opts.config);
+
+  std::vector<std::string> row{
+      app.name(),
+      atm_mode_name(opts.config.mode),
+      fmt_double(run.wall_seconds * 1e3, 1) + " ms",
+      fmt_percent(run.reuse_fraction()),
+      std::to_string(run.counters.submitted),
+      std::to_string(run.atm.tht_hits),
+      std::to_string(run.atm.ikt_hits),
+      run.final_p > 0 ? fmt_percent(run.final_p, 4) : "-",
+      fmt_bytes(run.atm_memory_bytes),
+  };
+  if (opts.baseline) {
+    row.push_back(fmt_speedup(baseline.wall_seconds / run.wall_seconds));
+    row.push_back(fmt_double(correctness_percent(app.program_error(baseline, run)), 2) +
+                  "%");
+  }
+  table->add_row(std::move(row));
+
+  if (opts.trace && !run.ascii_timeline.empty()) {
+    std::printf("\n%s trace (.idle X exec h hash m memoize c create):\n%s",
+                app.name().c_str(), run.ascii_timeline.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse(argc, argv, &opts)) return usage(argv[0]);
+
+  std::vector<std::string> header{"Benchmark", "Mode",    "Wall",  "Reuse", "Tasks",
+                                  "THT hits",  "IKT hits", "p",     "ATM mem"};
+  if (opts.baseline) {
+    header.push_back("Speedup");
+    header.push_back("Correctness");
+  }
+  TablePrinter table(std::move(header));
+
+  if (opts.app == "all") {
+    for (const auto& app : make_all_apps(opts.preset)) run_one(*app, opts, &table);
+  } else {
+    const auto app = make_app(opts.app, opts.preset);
+    if (app == nullptr) {
+      std::fprintf(stderr, "unknown app '%s'\n", opts.app.c_str());
+      return usage(argv[0]);
+    }
+    run_one(*app, opts, &table);
+  }
+  table.print(std::cout);
+  return 0;
+}
