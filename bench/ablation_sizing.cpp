@@ -1,5 +1,5 @@
 // Regenerates the §IV-B sizing study plus design-choice ablations called
-// out in DESIGN.md:
+// out in docs/DESIGN.md §6:
 //   * THT bucket count N: paper: N=8 is ~46% faster than N=0; more doesn't help.
 //   * THT bucket capacity M: paper: M=16 suffices except kmeans (M=128).
 //   * Type-aware vs plain input selection (§III-C) on Swaptions.

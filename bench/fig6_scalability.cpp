@@ -2,7 +2,7 @@
 // count grows 1..8 (per benchmark + geomean). Speedup is always measured
 // against the no-ATM run at the SAME thread count (Eq. 2), so the shape
 // survives this container's 2 physical cores (threads > cores oversubscribe;
-// EXPERIMENTS.md discusses the distortion).
+// docs/EXPERIMENTS.md discusses the distortion).
 #include "bench_common.hpp"
 
 int main() {

@@ -27,7 +27,7 @@ struct StencilParams {
   unsigned iterations = 10;      ///< sweeps (paper: 20)
   /// Relaxation sweeps performed inside one task (block-smoother style).
   /// Keeps the compute-per-input-byte ratio of the paper's 4 MB blocks at
-  /// our scaled-down block sizes (see DESIGN.md substitutions).
+  /// our scaled-down block sizes (see docs/DESIGN.md §3).
   unsigned inner_sweeps = 4;
   float wall_temp = 100.0f;      ///< boundary emission temperature
   std::size_t init_patterns = 8; ///< distinct random init patterns (redundancy)

@@ -10,7 +10,7 @@
 //  * LU residual (Eq. 4) — |A - L*U|^2 / |A|^2, the app-specific variant.
 //  * correctness% = 100 * (1 - Er) clamped to [0, 100] — the mapping used
 //    for Figures 4 and 5; consistent with the paper's reported losses
-//    (e.g. kmeans -1.2%, swaptions -3.2%). DESIGN.md documents this choice.
+//    (e.g. kmeans -1.2%, swaptions -3.2%). docs/DESIGN.md §1 documents this choice.
 #pragma once
 
 #include <cmath>

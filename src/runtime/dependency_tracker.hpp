@@ -11,7 +11,7 @@
 //
 // Not thread-safe by itself: the Runtime serializes calls under its graph
 // mutex (task submission and the dependence bookkeeping are cheap relative
-// to task bodies; see DESIGN.md §4).
+// to task bodies; see docs/DESIGN.md §4).
 #pragma once
 
 #include <cstdint>

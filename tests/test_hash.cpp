@@ -1,7 +1,7 @@
 // Unit and property tests for the lookup3-style hash (common/hash.hpp):
 // determinism, chunking invariance, length binding, seed sensitivity,
 // avalanche behaviour and bucket uniformity — the statistical properties
-// ATM's key generation relies on (DESIGN.md: validated by properties, not
+// ATM's key generation relies on (docs/DESIGN.md §2: validated by properties, not
 // canonical vectors).
 #include <gtest/gtest.h>
 

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Run every ATM bench harness in sequence.
+#
+#   tools/run_benches.sh [build-dir]
+#
+# Benches run argument-less; scale comes from the environment:
+#   ATM_SCALE    problem-size preset multiplier   (default: harness-defined)
+#   ATM_THREADS  worker threads                   (default: 2)
+#   ATM_REPS     repetitions for median timing    (default: 3)
+#
+# Build the binaries first: cmake --build <build-dir> --target bench
+set -eu
+
+BUILD_DIR="${1:-build}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "error: build dir '$BUILD_DIR' not found (run cmake -B $BUILD_DIR -S . first)" >&2
+  exit 1
+fi
+
+BENCHES="table1_workloads table2_params table3_memory \
+         fig3_speedup fig4_correctness fig5_p_sensitivity fig6_scalability \
+         fig7_trace_gs fig8_trace_blackscholes fig9_reuse_cdf \
+         ablation_sizing micro_atm"
+
+failed=0
+for b in $BENCHES; do
+  bin="$BUILD_DIR/$b"
+  if [ ! -x "$bin" ]; then
+    echo "--- skipping $b (not built)"
+    continue
+  fi
+  echo ""
+  echo "=== $b ==="
+  "$bin" || { echo "--- $b FAILED"; failed=1; }
+done
+
+exit $failed
