@@ -14,7 +14,8 @@ int main() {
   using namespace atm;
   using namespace atm::apps;
 
-  KmeansParams params = KmeansParams::preset(Preset::Bench);
+  // Bench scale when run by hand; ATM_SCALE=test keeps CI smoke runs fast.
+  KmeansParams params = KmeansParams::preset(preset_from_env());
   KmeansApp app(params);
   std::printf("Kmeans: %s\n", app.program_input_desc().c_str());
   std::printf("tau_max = %.0f%% (Table II), L_training = %u\n\n",

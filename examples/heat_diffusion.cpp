@@ -13,7 +13,8 @@ int main() {
   using namespace atm;
   using namespace atm::apps;
 
-  StencilParams params = StencilParams::preset(Preset::Bench);
+  // Bench scale when run by hand; ATM_SCALE=test keeps CI smoke runs fast.
+  StencilParams params = StencilParams::preset(preset_from_env());
   GaussSeidelApp app(params);
   std::printf("Gauss-Seidel heat diffusion: %s\n", app.program_input_desc().c_str());
 

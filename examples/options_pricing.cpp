@@ -12,7 +12,8 @@ int main() {
   using namespace atm;
   using namespace atm::apps;
 
-  BlackscholesParams params = BlackscholesParams::preset(Preset::Bench);
+  // Bench scale when run by hand; ATM_SCALE=test keeps CI smoke runs fast.
+  BlackscholesParams params = BlackscholesParams::preset(preset_from_env());
   BlackscholesApp app(params);
   std::printf("Blackscholes portfolio pricing: %s\n", app.program_input_desc().c_str());
   std::printf("memoized task type: %s (%zu option blocks x %u pricing runs)\n\n",

@@ -1,5 +1,7 @@
 #include "apps/app_registry.hpp"
 
+#include <cstdio>
+
 #include "apps/blackscholes.hpp"
 #include "apps/gauss_seidel.hpp"
 #include "apps/jacobi.hpp"
@@ -27,7 +29,19 @@ std::unique_ptr<AtmEngine> make_engine(const RunConfig& config) {
   c.shuffle_seed = config.shuffle_seed;
   c.verify_full_inputs = config.verify_full_inputs;
   c.eviction = config.eviction;
-  return std::make_unique<AtmEngine>(c);
+  c.l2_enabled = config.l2_enabled;
+  c.l2_budget_bytes = config.l2_budget_bytes;
+  c.l2_log2_shards = config.l2_log2_shards;
+  c.l2_compress = config.l2_compress;
+  auto engine = std::make_unique<AtmEngine>(c);
+  if (!config.load_store_path.empty()) {
+    std::string error;
+    if (!engine->load_store(config.load_store_path, &error)) {
+      // A cold start is the correct fallback: report and continue.
+      std::fprintf(stderr, "atm: warm start skipped: %s\n", error.c_str());
+    }
+  }
+  return engine;
 }
 
 void finalize_result(RunResult& result, rt::Runtime& runtime, AtmEngine* engine,
@@ -36,6 +50,12 @@ void finalize_result(RunResult& result, rt::Runtime& runtime, AtmEngine* engine,
   if (engine != nullptr) {
     result.atm = engine->stats();
     result.atm_memory_bytes = engine->memory_bytes();
+    if (!config.save_store_path.empty()) {
+      std::string error;
+      if (!engine->save_store(config.save_store_path, &error)) {
+        std::fprintf(stderr, "atm: store save failed: %s\n", error.c_str());
+      }
+    }
     if (memoized_type != nullptr) {
       result.final_p = engine->current_p(*memoized_type);
       result.final_phase = engine->phase(*memoized_type);

@@ -29,6 +29,16 @@ struct RunConfig {
   EvictionPolicy eviction = EvictionPolicy::Fifo;
   bool tracing = false;
   std::uint64_t shuffle_seed = 0x5eedULL;
+
+  // --- tiered memo store (src/store/) ---
+  bool l2_enabled = false;        ///< byte-budgeted capacity tier behind the THT
+  std::size_t l2_budget_bytes = std::size_t{64} << 20;
+  unsigned l2_log2_shards = 4;
+  bool l2_compress = false;       ///< RLE-compress demoted snapshots
+  /// Warm-start: load this store snapshot before the run (empty = cold).
+  std::string load_store_path{};
+  /// Persist the trained store to this path after the run (empty = don't).
+  std::string save_store_path{};
 };
 
 /// Everything a run reports back to the harnesses.

@@ -26,12 +26,22 @@ struct AtmStatsSnapshot {
   std::uint64_t copy_out_ns = 0;       ///< THT->task and twin->task output copies
   std::uint64_t update_ns = 0;         ///< task->THT snapshot insertion time
 
+  // --- L2 capacity tier (zero unless AtmConfig::l2_enabled) ---
+  std::uint64_t l2_hits = 0;        ///< L1 misses served from the L2 store
+  std::uint64_t l2_promotions = 0;  ///< L2 entries reinstated into the THT
+  std::uint64_t l2_demotions = 0;   ///< THT evictions captured by the L2 store
+  std::uint64_t l2_evictions = 0;   ///< entries the L2 dropped to hold its budget
+  // Gauges sampled when the snapshot is taken (not monotonic counters).
+  std::uint64_t l2_entries = 0;         ///< resident L2 entries
+  std::uint64_t l2_payload_bytes = 0;   ///< resident L2 payload (post-compression)
+  std::uint64_t l2_memory_bytes = 0;    ///< payload + L2 index overhead
+
   /// Reuse events in completion order: the creator task id whose stored
   /// outputs satisfied a consumer (THT hit, IKT hit, or training hit).
   std::vector<rt::TaskId> reuse_creators;
 
   [[nodiscard]] std::uint64_t total_hits() const noexcept {
-    return tht_hits + ikt_hits;
+    return tht_hits + ikt_hits + l2_hits;
   }
 };
 
@@ -49,6 +59,9 @@ class AtmStats {
   std::atomic<std::uint64_t> hash_bytes{0};
   std::atomic<std::uint64_t> copy_out_ns{0};
   std::atomic<std::uint64_t> update_ns{0};
+  std::atomic<std::uint64_t> l2_hits{0};
+  std::atomic<std::uint64_t> l2_promotions{0};
+  std::atomic<std::uint64_t> l2_demotions{0};
 
   void log_reuse(rt::TaskId creator) {
     std::lock_guard<std::mutex> lock(reuse_mutex_);
@@ -68,6 +81,9 @@ class AtmStats {
     s.hash_bytes = hash_bytes.load();
     s.copy_out_ns = copy_out_ns.load();
     s.update_ns = update_ns.load();
+    s.l2_hits = l2_hits.load();
+    s.l2_promotions = l2_promotions.load();
+    s.l2_demotions = l2_demotions.load();
     {
       std::lock_guard<std::mutex> lock(reuse_mutex_);
       s.reuse_creators = reuse_creators_;
@@ -87,6 +103,9 @@ class AtmStats {
     hash_bytes = 0;
     copy_out_ns = 0;
     update_ns = 0;
+    l2_hits = 0;
+    l2_promotions = 0;
+    l2_demotions = 0;
     std::lock_guard<std::mutex> lock(reuse_mutex_);
     reuse_creators_.clear();
   }

@@ -75,6 +75,17 @@ struct AtmConfig {
   /// many executed tasks of a type (0 = no cap). The paper trains with at
   /// most ~5% of the tasks; apps pass explicit L_training instead.
   std::uint64_t training_task_cap = 0;
+
+  // --- L2 capacity tier (src/store/, beyond the paper) ---------------------
+  /// Enable the byte-budgeted L2 store behind the THT: capacity evictions
+  /// demote into it, steady-state L1 misses probe it and promote on hit.
+  bool l2_enabled = false;
+  /// Total L2 payload budget in bytes (split evenly across shards).
+  std::size_t l2_budget_bytes = std::size_t{64} << 20;
+  /// log2 of the L2 shard count (independent locks; 2^4 = 16 shards).
+  unsigned l2_log2_shards = 4;
+  /// Compress demoted snapshots (byte-wise RLE with raw fallback).
+  bool l2_compress = false;
 };
 
 }  // namespace atm

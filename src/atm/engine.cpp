@@ -6,15 +6,64 @@
 #include "atm/error_metric.hpp"
 #include "atm/hash_key.hpp"
 #include "common/timing.hpp"
+#include "store/rle_codec.hpp"
 
 namespace atm {
+
+namespace {
+
+/// THT-side entry -> storage-layer entry (owned byte vectors; Raw encoding,
+/// the L2 store compresses on put when configured).
+store::MemoEntry to_store_entry(EvictedEntry&& evicted) {
+  store::MemoEntry entry;
+  entry.key = {evicted.type_id, evicted.key, evicted.p};
+  entry.creator = evicted.creator;
+  entry.regions.reserve(evicted.snapshot.regions.size());
+  for (auto& region : evicted.snapshot.regions) {
+    store::MemoRegion r;
+    r.raw_bytes = region.data.size();
+    r.elem = static_cast<std::uint8_t>(region.elem);
+    r.encoding = store::RegionEncoding::Raw;
+    r.data = std::move(region.data);
+    entry.regions.push_back(std::move(r));
+  }
+  return entry;
+}
+
+/// Storage-layer entry (Raw-decoded) -> THT-side snapshot.
+OutputSnapshot to_snapshot(store::MemoEntry&& entry) {
+  OutputSnapshot snap;
+  snap.regions.reserve(entry.regions.size());
+  for (auto& r : entry.regions) {
+    OutputSnapshot::Region region;
+    region.elem = static_cast<rt::ElemType>(r.elem);
+    region.data = std::move(r.data);
+    snap.regions.push_back(std::move(region));
+  }
+  return snap;
+}
+
+}  // namespace
 
 AtmEngine::AtmEngine(AtmConfig config)
     : config_(config),
       tht_(config.log2_buckets, config.bucket_capacity, config.arena_reserve_bytes,
            config.verify_full_inputs, config.eviction),
       ikt_(),
-      sampler_(config.type_aware, config.shuffle_seed) {}
+      sampler_(config.type_aware, config.shuffle_seed) {
+  if (config_.l2_enabled) {
+    l2_ = std::make_unique<store::L2CapacityStore>(store::L2Config{
+        .budget_bytes = config_.l2_budget_bytes,
+        .log2_shards = config_.l2_log2_shards,
+        .compress = config_.l2_compress,
+    });
+    // Demotion seam: every THT capacity eviction lands in the L2 tier.
+    tht_.set_eviction_sink([this](EvictedEntry&& evicted) {
+      stats_.l2_demotions.fetch_add(1, std::memory_order_relaxed);
+      l2_->put(to_store_entry(std::move(evicted)));
+    });
+  }
+}
 
 void AtmEngine::on_attach(rt::Runtime& runtime) { runtime_ = &runtime; }
 
@@ -32,10 +81,21 @@ TrainingController& AtmEngine::controller(const rt::TaskType& type) {
       ctl = TrainingController::make_steady(config_.fixed_p);
       break;
     case AtmMode::Dynamic:
-    case AtmMode::Off:
-      ctl = std::make_unique<TrainingController>(type.atm_params(), kMinP,
-                                                 config_.training_task_cap);
+    case AtmMode::Off: {
+      // A warm-started type resumes at its persisted p and phase instead of
+      // re-paying the training phase (zero training executions on restart).
+      const auto warm = warm_controllers_.find(type.id());
+      if (warm != warm_controllers_.end()) {
+        ctl = std::make_unique<TrainingController>(
+            type.atm_params(), warm->second.p, config_.training_task_cap,
+            warm->second.steady ? TrainingPhase::Steady : TrainingPhase::Training,
+            warm->second.trained_tasks);
+      } else {
+        ctl = std::make_unique<TrainingController>(type.atm_params(), kMinP,
+                                                   config_.training_task_cap);
+      }
       break;
+    }
   }
   auto [ins, ok] = controllers_.emplace(type.id(), std::move(ctl));
   (void)ok;
@@ -95,6 +155,44 @@ rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size
       return Decision::Hit;
     }
     stats_.tht_misses.fetch_add(1, std::memory_order_relaxed);
+
+    if (l2_ != nullptr) {
+      // Fall through to the capacity tier; on hit, promote the entry back
+      // into the L1 THT (take() removes it from L2 — no double residency)
+      // and serve the outputs directly.
+      store::MemoEntry entry;
+      if (l2_->take({type.id(), key.key, p}, &entry)) {
+        const rt::TaskId entry_creator = entry.creator;
+        OutputSnapshot snap = to_snapshot(std::move(entry));
+        if (snap.matches_shape(task)) {
+          const std::uint64_t c0 = now_ns();
+          snap.copy_to(task);
+          const std::uint64_t c1 = now_ns();
+          if (runtime_ != nullptr) {
+            runtime_->tracer().record(lane, rt::TraceState::Memoize, c0, c1);
+          }
+          tht_.insert_snapshot(type.id(), key.key, p, entry_creator, snap);
+          stats_.copy_out_ns.fetch_add(c1 - c0, std::memory_order_relaxed);
+          stats_.l2_hits.fetch_add(1, std::memory_order_relaxed);
+          stats_.l2_promotions.fetch_add(1, std::memory_order_relaxed);
+          stats_.log_reuse(entry_creator);
+          return Decision::Hit;
+        }
+        // Shape drifted (same key, different output layout): put the entry
+        // back — some other consumer may still match it — and miss.
+        store::MemoEntry back;
+        back.key = {type.id(), key.key, p};
+        back.creator = entry_creator;
+        for (auto& region : snap.regions) {
+          store::MemoRegion r;
+          r.raw_bytes = region.data.size();
+          r.elem = static_cast<std::uint8_t>(region.elem);
+          r.data = std::move(region.data);
+          back.regions.push_back(std::move(r));
+        }
+        l2_->put(std::move(back));
+      }
+    }
 
     if (config_.use_ikt) {
       const auto res =
@@ -216,8 +314,66 @@ std::size_t AtmEngine::blacklist_size(const rt::TaskType& type) {
   return controller(type).blacklist_size();
 }
 
+AtmStatsSnapshot AtmEngine::stats() const {
+  AtmStatsSnapshot s = stats_.snapshot();
+  if (l2_ != nullptr) {
+    s.l2_evictions = l2_->stats().evictions;
+    s.l2_entries = l2_->entry_count();
+    s.l2_payload_bytes = l2_->payload_bytes();
+    s.l2_memory_bytes = l2_->memory_bytes();
+  }
+  return s;
+}
+
+bool AtmEngine::save_store(const std::string& path, std::string* error) const {
+  store::StoreImage image;
+  {
+    std::lock_guard<std::mutex> lock(controllers_mutex_);
+    for (const auto& [id, ctl] : controllers_) {
+      store::ControllerState state;
+      state.type_id = id;
+      state.steady = ctl->phase() == TrainingPhase::Steady;
+      state.p = ctl->current_p();
+      state.trained_tasks = ctl->trained_tasks();
+      image.controllers.push_back(state);
+    }
+  }
+  tht_.for_each_entry([&image](EvictedEntry&& e) {
+    image.l1.push_back(to_store_entry(std::move(e)));
+  });
+  if (l2_ != nullptr) {
+    l2_->for_each([&image](const store::MemoEntry& e) { image.l2.push_back(e); });
+  }
+  return store::save(path, image, error);
+}
+
+bool AtmEngine::load_store(const std::string& path, std::string* error) {
+  auto image = store::load(path, error);
+  if (!image.has_value()) return false;
+  for (const store::ControllerState& state : image->controllers) {
+    warm_controllers_[state.type_id] = state;
+  }
+  // L1 entries re-insert through the normal path: once a bucket fills, the
+  // eviction sink (when the L2 tier is on) demotes the overflow instead of
+  // losing it.
+  for (store::MemoEntry& e : image->l1) {
+    const store::MemoKey key = e.key;
+    const std::uint64_t creator = e.creator;
+    bool decoded = true;
+    for (auto& r : e.regions) decoded = decoded && store::decode_region(&r);
+    if (!decoded) continue;  // checksummed payloads should never hit this
+    tht_.insert_snapshot(key.type_id, key.hash, key.p, creator,
+                         to_snapshot(std::move(e)));
+  }
+  if (l2_ != nullptr) {
+    for (store::MemoEntry& e : image->l2) l2_->put(std::move(e));
+  }
+  return true;
+}
+
 std::size_t AtmEngine::memory_bytes() const {
   std::size_t n = tht_.memory_bytes() + ikt_.memory_bytes() + sampler_.memory_bytes();
+  if (l2_ != nullptr) n += l2_->memory_bytes();
   {
     std::lock_guard<std::mutex> lock(controllers_mutex_);
     for (const auto& [id, ctl] : controllers_) {

@@ -5,6 +5,8 @@
 //        │
 //        ├─ steady state: THT lookup ── hit ──► copyOuts()          => Hit
 //        │                 miss │
+//        │                      ├─ L2 store lookup ─ hit ──► promote
+//        │                      │     into THT + copyOuts()         => Hit
 //        │                      └─ IKT lookup ─ twin in flight ──►
 //        │                            postponeCopyOuts()            => Deferred
 //        │                            miss ──► register in IKT      => Execute
@@ -20,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "atm/atm_stats.hpp"
@@ -29,6 +32,8 @@
 #include "atm/tht.hpp"
 #include "atm/training.hpp"
 #include "runtime/runtime.hpp"
+#include "store/l2_store.hpp"
+#include "store/snapshot_io.hpp"
 
 namespace atm {
 
@@ -47,12 +52,29 @@ class AtmEngine final : public rt::MemoizationHook {
 
   // --- observability ---
   [[nodiscard]] const AtmConfig& config() const noexcept { return config_; }
-  [[nodiscard]] AtmStatsSnapshot stats() const { return stats_.snapshot(); }
-  void reset_stats() { stats_.reset(); }
+  /// Counter snapshot; when the L2 tier is on, also samples its gauges
+  /// (resident entries/bytes) and eviction count into the L2 fields.
+  [[nodiscard]] AtmStatsSnapshot stats() const;
+  void reset_stats() {
+    stats_.reset();
+    if (l2_ != nullptr) l2_->reset_stats();
+  }
 
   [[nodiscard]] TaskHistoryTable& tht() noexcept { return tht_; }
   [[nodiscard]] InFlightKeyTable& ikt() noexcept { return ikt_; }
   [[nodiscard]] InputSampler& sampler() noexcept { return sampler_; }
+  /// The L2 capacity tier; nullptr unless AtmConfig::l2_enabled.
+  [[nodiscard]] store::MemoStore* l2() noexcept { return l2_.get(); }
+
+  // --- persistent warm start (src/store/snapshot_io) ---
+  /// Serialize THT + L2 + per-type p-controller state to `path`.
+  bool save_store(const std::string& path, std::string* error = nullptr) const;
+  /// Restore a saved image: THT entries re-insert (overflow demotes to the
+  /// L2 tier when enabled), L2 entries reload as stored, and Dynamic-mode
+  /// controllers resume at their trained p/phase — zero training on the
+  /// warm run. Call before submitting tasks; type ids must come from the
+  /// same registration order as the saving program.
+  bool load_store(const std::string& path, std::string* error = nullptr);
 
   /// Current selected-input percentage of a type (the star of Figure 5).
   [[nodiscard]] double current_p(const rt::TaskType& type);
@@ -81,9 +103,13 @@ class AtmEngine final : public rt::MemoizationHook {
   InFlightKeyTable ikt_;
   InputSampler sampler_;
   AtmStats stats_;
+  std::unique_ptr<store::L2CapacityStore> l2_;
 
   mutable std::mutex controllers_mutex_;
   std::unordered_map<std::uint32_t, std::unique_ptr<TrainingController>> controllers_;
+  /// Controller states restored by load_store(), consumed lazily when a
+  /// Dynamic-mode controller is first created for the type.
+  std::unordered_map<std::uint32_t, store::ControllerState> warm_controllers_;
 
   mutable std::mutex checks_mutex_;
   std::unordered_map<const rt::Task*, PendingCheck> pending_checks_;

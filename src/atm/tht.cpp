@@ -173,6 +173,46 @@ void TaskHistoryTable::release_entry(Entry& entry) {
   entry.inputs.clear();
 }
 
+void TaskHistoryTable::evict_front_locked(Bucket& b) {
+  Entry& victim = b.entries.front();
+  memory_.fetch_sub(victim.total_bytes() + sizeof(Entry));
+  if (eviction_sink_) {
+    // Demotion: hand the L2 tier an owned copy of the outputs before the
+    // arena buffers are recycled. Stored inputs (§III-E ablation) are not
+    // demoted — the capacity tier serves approximate steady-state traffic.
+    EvictedEntry evicted;
+    evicted.type_id = victim.type_id;
+    evicted.key = victim.key;
+    evicted.p = victim.p;
+    evicted.creator = victim.creator;
+    evicted.snapshot.regions.reserve(victim.outputs.size());
+    for (const auto& r : victim.outputs) {
+      OutputSnapshot::Region region;
+      region.elem = r.elem;
+      region.data.assign(r.data, r.data + r.bytes);
+      evicted.snapshot.regions.push_back(std::move(region));
+    }
+    eviction_sink_(std::move(evicted));
+  }
+  release_entry(victim);
+  b.entries.pop_front();
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TaskHistoryTable::insert_entry(Bucket& b, Entry&& e, std::size_t snap_bytes) {
+  std::unique_lock<std::shared_mutex> lock(b.mutex);
+  for (Entry& existing : b.entries) {
+    if (entry_matches(existing, e.type_id, e.key, e.p)) {
+      lock.unlock();
+      release_entry(e);  // raced duplicate: recycle our buffers
+      return;
+    }
+  }
+  if (b.entries.size() >= capacity_) evict_front_locked(b);
+  b.entries.push_back(std::move(e));
+  memory_.fetch_add(snap_bytes + sizeof(Entry));
+}
+
 void TaskHistoryTable::insert(std::uint32_t type_id, HashKey key, double p,
                               const rt::Task& producer) {
   // Deterministic tasks with the same (key, p) produce the same outputs, so
@@ -212,23 +252,52 @@ void TaskHistoryTable::insert(std::uint32_t type_id, HashKey key, double p,
     }
   }
 
-  Bucket& b = bucket_for(key);
-  std::unique_lock<std::shared_mutex> lock(b.mutex);
-  for (Entry& existing : b.entries) {
-    if (entry_matches(existing, type_id, key, p)) {
-      lock.unlock();
-      release_entry(e);  // raced duplicate: recycle our buffers
-      return;
+  insert_entry(bucket_for(key), std::move(e), snap_bytes);
+}
+
+void TaskHistoryTable::insert_snapshot(std::uint32_t type_id, HashKey key, double p,
+                                       rt::TaskId creator,
+                                       const OutputSnapshot& snapshot) {
+  if (contains(type_id, key, p)) return;
+
+  Entry e;
+  e.key = key;
+  e.p = p;
+  e.type_id = type_id;
+  e.creator = creator;
+  std::size_t snap_bytes = 0;
+  for (const auto& region : snapshot.regions) {
+    StoredRegion r;
+    r.bytes = region.data.size();
+    r.elem = region.elem;
+    r.data = arena_.acquire(r.bytes);
+    std::memcpy(r.data, region.data.data(), r.bytes);
+    snap_bytes += r.bytes;
+    e.outputs.push_back(r);
+  }
+  insert_entry(bucket_for(key), std::move(e), snap_bytes);
+}
+
+void TaskHistoryTable::for_each_entry(
+    const std::function<void(EvictedEntry&&)>& fn) const {
+  for (const Bucket& b : buckets_) {
+    std::shared_lock<std::shared_mutex> lock(b.mutex);
+    for (const Entry& e : b.entries) {
+      EvictedEntry out;
+      out.type_id = e.type_id;
+      out.key = e.key;
+      out.p = e.p;
+      out.creator = e.creator;
+      out.snapshot.regions.reserve(e.outputs.size());
+      for (const auto& r : e.outputs) {
+        OutputSnapshot::Region region;
+        region.elem = r.elem;
+        region.data.assign(r.data, r.data + r.bytes);
+        out.snapshot.regions.push_back(std::move(region));
+      }
+      fn(std::move(out));
     }
   }
-  if (b.entries.size() >= capacity_) {
-    memory_.fetch_sub(b.entries.front().total_bytes() + sizeof(Entry));
-    release_entry(b.entries.front());
-    b.entries.pop_front();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
-  }
-  b.entries.push_back(std::move(e));
-  memory_.fetch_add(snap_bytes + sizeof(Entry));
 }
 
 void TaskHistoryTable::clear() {

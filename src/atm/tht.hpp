@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <shared_mutex>
 #include <vector>
 
@@ -50,6 +51,25 @@ struct OutputSnapshot {
 /// may provide the other's outputs.
 [[nodiscard]] bool output_shapes_match(const rt::Task& a, const rt::Task& b) noexcept;
 
+/// A THT entry leaving (or entering) the table through the tiering seam:
+/// the full match tuple + attribution + an owned copy of the outputs.
+/// Produced on capacity eviction (demotion to the L2 tier), consumed by
+/// insert_snapshot() (promotion from L2 / snapshot load).
+struct EvictedEntry {
+  std::uint32_t type_id = 0;
+  HashKey key = 0;
+  double p = 1.0;
+  rt::TaskId creator = 0;
+  OutputSnapshot snapshot;
+};
+
+/// Demotion callback: receives every entry evicted to make room (not
+/// entries dropped by clear(), which is a reset, not capacity pressure).
+/// Called with the bucket lock held — the sink must not call back into the
+/// table. Install before concurrent use; the engine wires this to the L2
+/// capacity tier (src/store/).
+using EvictionSink = std::function<void(EvictedEntry&&)>;
+
 class TaskHistoryTable {
  public:
   /// `log2_buckets` is the paper's N (0 => a single bucket); `bucket_capacity`
@@ -82,6 +102,24 @@ class TaskHistoryTable {
   /// configured policy when the bucket is full. Duplicate (type, key, p)
   /// inserts are skipped (the oldest entry wins, as with FIFO order).
   void insert(std::uint32_t type_id, HashKey key, double p, const rt::Task& producer);
+
+  /// Store an already-captured snapshot under (type, key, p) — the
+  /// promotion path from the L2 tier and the --load-store warm start.
+  /// Same dedup/eviction semantics as insert(). Entries inserted this way
+  /// carry no stored inputs, so the §III-E full-input check (when enabled)
+  /// accepts them unverified.
+  void insert_snapshot(std::uint32_t type_id, HashKey key, double p, rt::TaskId creator,
+                       const OutputSnapshot& snapshot);
+
+  /// Install (or clear, with nullptr) the demotion sink fed by capacity
+  /// evictions. Not synchronized against in-flight inserts: install during
+  /// setup, before the table sees concurrent traffic.
+  void set_eviction_sink(EvictionSink sink) { eviction_sink_ = std::move(sink); }
+
+  /// Visit an owned copy of every live entry (serialization /
+  /// --save-store); the copy is handed over, so consumers keep it without
+  /// another payload pass.
+  void for_each_entry(const std::function<void(EvictedEntry&&)>& fn) const;
 
   /// Hits whose full-input verification failed (hash false positives
   /// caught by the §III-E check; paper §III-E observed none in practice).
@@ -134,6 +172,11 @@ class TaskHistoryTable {
   };
 
   void release_entry(Entry& entry);
+  /// Evict the replacement-policy victim of a full bucket (caller holds the
+  /// bucket's exclusive lock), feeding the demotion sink when installed.
+  void evict_front_locked(Bucket& bucket);
+  /// Shared tail of insert()/insert_snapshot(): dedup-check, evict, append.
+  void insert_entry(Bucket& bucket, Entry&& entry, std::size_t snap_bytes);
 
   [[nodiscard]] Bucket& bucket_for(HashKey key) noexcept {
     return buckets_[key & mask_];
@@ -153,6 +196,7 @@ class TaskHistoryTable {
   bool verify_full_inputs_;
   EvictionPolicy eviction_;
   BufferArena arena_;
+  EvictionSink eviction_sink_;
   std::atomic<std::size_t> memory_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> verification_rejects_{0};

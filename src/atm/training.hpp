@@ -27,11 +27,19 @@ enum class TrainingPhase : std::uint8_t { Training, Steady };
 
 class TrainingController {
  public:
-  /// Dynamic mode: train from kMinP with the type's parameters.
+  /// Dynamic mode: train from kMinP with the type's parameters. A warm
+  /// start (store snapshot load) passes the persisted p/phase and the tasks
+  /// already spent training, so the task-cap budget is not re-granted on
+  /// every restart.
   explicit TrainingController(rt::AtmParams params, double initial_p = kMinP,
                               std::uint64_t task_cap = 0,
-                              TrainingPhase initial_phase = TrainingPhase::Training)
-      : params_(params), phase_(initial_phase), p_(initial_p), task_cap_(task_cap) {}
+                              TrainingPhase initial_phase = TrainingPhase::Training,
+                              std::uint64_t trained_tasks = 0)
+      : params_(params),
+        phase_(initial_phase),
+        p_(initial_p),
+        trained_tasks_(trained_tasks),
+        task_cap_(task_cap) {}
 
   /// Static/FixedP modes: a controller already in steady state with the
   /// given constant p (no training ever happens).

@@ -20,3 +20,6 @@
 #include "atm/tht.hpp"          // IWYU pragma: export
 #include "atm/training.hpp"     // IWYU pragma: export
 #include "runtime/runtime.hpp"  // IWYU pragma: export
+#include "store/l2_store.hpp"   // IWYU pragma: export
+#include "store/memo_store.hpp" // IWYU pragma: export
+#include "store/snapshot_io.hpp"// IWYU pragma: export

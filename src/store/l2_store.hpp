@@ -1,0 +1,78 @@
+// L2 capacity tier: a sharded, byte-budgeted in-memory MemoStore.
+//
+// The hot tier (THT) is sized for lookup speed (2^N buckets x M entries,
+// paper §IV-B); this tier is sized in *bytes* and catches what the THT
+// evicts. Entries promote back into the THT on hit (the engine calls
+// take()) and demote here on THT eviction (the eviction-sink seam calls
+// put()). Keys never expire by count — the budget is the only limit, per
+// Selective Memoization's "programmer controls memo space" argument.
+//
+// Sharding: the key hash picks one of 2^S independent shards, each its own
+// mutex + FIFO list + index, so demotions from different THT buckets and
+// concurrent promotions do not serialize on one lock. The byte budget is
+// split evenly across shards (no global atomic on the put path).
+#pragma once
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "store/memo_store.hpp"
+
+namespace atm::store {
+
+struct L2Config {
+  std::size_t budget_bytes = std::size_t{64} << 20;
+  unsigned log2_shards = 4;
+  /// Compress demoted snapshots with the packbits codec (raw fallback when
+  /// a region does not shrink).
+  bool compress = false;
+};
+
+class L2CapacityStore final : public MemoStore {
+ public:
+  explicit L2CapacityStore(L2Config config);
+
+  void put(MemoEntry&& entry) override;
+  bool get(const MemoKey& key, MemoEntry* out) override;
+  bool take(const MemoKey& key, MemoEntry* out) override;
+  void clear() override;
+
+  [[nodiscard]] std::size_t entry_count() const override;
+  [[nodiscard]] std::size_t payload_bytes() const override;
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] MemoStoreStats stats() const override;
+  void reset_stats() override;
+  void for_each(const std::function<void(const MemoEntry&)>& fn) const override;
+
+  [[nodiscard]] const L2Config& config() const noexcept { return config_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    /// FIFO order: front is the demotion-time oldest, evicted first.
+    std::list<MemoEntry> entries;
+    std::unordered_map<MemoKey, std::list<MemoEntry>::iterator, MemoKeyHash> index;
+    std::size_t cost = 0;  ///< sum of entry_cost() for resident entries
+  };
+
+  [[nodiscard]] Shard& shard_for(const MemoKey& key) noexcept {
+    return shards_[MemoKeyHash{}(key) & shard_mask_];
+  }
+  [[nodiscard]] const Shard& shard_for(const MemoKey& key) const noexcept {
+    return shards_[MemoKeyHash{}(key) & shard_mask_];
+  }
+  /// Entry accounting cost: stored payload + fixed index/list overhead.
+  [[nodiscard]] static std::size_t entry_cost(const MemoEntry& e) noexcept;
+  bool extract(const MemoKey& key, MemoEntry* out, bool erase);
+
+  L2Config config_;
+  std::vector<Shard> shards_;
+  std::size_t shard_mask_;
+  std::size_t shard_budget_;
+
+  mutable std::mutex stats_mutex_;
+  MemoStoreStats stats_;
+};
+
+}  // namespace atm::store

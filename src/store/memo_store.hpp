@@ -1,0 +1,126 @@
+// Tiered memo store: the capacity tier behind the Task History Table.
+//
+// The paper's THT is a fixed-size in-memory table whose contents die with
+// the process; production services serving heavy repeat traffic need (a) a
+// larger capacity tier catching entries the small hot tier evicts, and
+// (b) persistence so a restart warm-starts from a trained table instead of
+// re-paying the full training + miss cost (cf. AttMEMO's hot/capacity
+// split and Selective Memoization's explicit memo-space budgets).
+//
+// This header is the storage-layer contract. It deliberately knows nothing
+// about tasks or the runtime: entries are (type, hash, p) keys mapping to
+// byte regions, so backends can live below atm_core in the layering
+// (atm_common -> atm_store -> atm_core).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace atm::store {
+
+/// Identity of a memoized result: the THT match tuple. `p` participates
+/// because Dynamic ATM must not match keys across p values (paper §III-D).
+struct MemoKey {
+  std::uint32_t type_id = 0;
+  std::uint64_t hash = 0;
+  double p = 1.0;
+
+  [[nodiscard]] bool operator==(const MemoKey&) const noexcept = default;
+};
+
+struct MemoKeyHash {
+  [[nodiscard]] std::size_t operator()(const MemoKey& k) const noexcept {
+    // splitmix-style finalizer over the three fields; the hash member is
+    // already well mixed but type_id/p must still separate buckets.
+    std::uint64_t x = k.hash ^ (static_cast<std::uint64_t>(k.type_id) << 32);
+    std::uint64_t pbits = 0;
+    static_assert(sizeof(pbits) == sizeof(k.p));
+    __builtin_memcpy(&pbits, &k.p, sizeof(pbits));
+    x ^= pbits + 0x9e3779b97f4a7c15ull + (x << 6) + (x >> 2);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+/// Region payload encodings understood by every backend and the on-disk
+/// snapshot format (src/store/snapshot_io.*).
+enum class RegionEncoding : std::uint8_t {
+  Raw = 0,  ///< data holds the region bytes verbatim
+  Rle = 1,  ///< data holds an rle_codec packbits stream of raw_bytes bytes
+};
+
+/// One stored output region of a memoized task.
+struct MemoRegion {
+  std::vector<std::uint8_t> data;       ///< payload (possibly encoded)
+  std::uint64_t raw_bytes = 0;          ///< decoded size
+  std::uint8_t elem = 0;                ///< rt::ElemType tag (opaque here)
+  RegionEncoding encoding = RegionEncoding::Raw;
+};
+
+/// A complete memoized result: key + creator attribution + output regions.
+struct MemoEntry {
+  MemoKey key;
+  std::uint64_t creator = 0;
+  std::vector<MemoRegion> regions;
+
+  /// Bytes held by the payloads as stored (post-compression).
+  [[nodiscard]] std::size_t payload_bytes() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : regions) n += r.data.size();
+    return n;
+  }
+  /// Bytes the decoded regions occupy.
+  [[nodiscard]] std::size_t raw_payload_bytes() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : regions) n += r.raw_bytes;
+    return n;
+  }
+};
+
+/// Counters every backend reports (fed into AtmStatsSnapshot).
+struct MemoStoreStats {
+  std::uint64_t puts = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;       ///< entries dropped to stay in budget
+  std::uint64_t compressed_regions = 0;
+};
+
+/// Abstract capacity-tier store. Implementations must be thread-safe:
+/// the THT eviction seam calls put() under a bucket lock while lookup
+/// threads call take() concurrently.
+class MemoStore {
+ public:
+  virtual ~MemoStore() = default;
+
+  /// Insert (or refresh) an entry. The store owns the moved-in payload and
+  /// may encode it; stays within its byte budget by evicting.
+  virtual void put(MemoEntry&& entry) = 0;
+
+  /// Copy the entry out with Raw-decoded regions; false on miss.
+  virtual bool get(const MemoKey& key, MemoEntry* out) = 0;
+
+  /// Remove and return the entry (promotion into the hot tier; avoids
+  /// double residency). Regions are Raw-decoded. False on miss.
+  virtual bool take(const MemoKey& key, MemoEntry* out) = 0;
+
+  virtual void clear() = 0;
+
+  [[nodiscard]] virtual std::size_t entry_count() const = 0;
+  /// Payload bytes resident as stored (post-compression).
+  [[nodiscard]] virtual std::size_t payload_bytes() const = 0;
+  /// Payload + index/bookkeeping overhead (the Table-III-style number).
+  [[nodiscard]] virtual std::size_t memory_bytes() const = 0;
+  [[nodiscard]] virtual MemoStoreStats stats() const = 0;
+  /// Zero the counters (resident entries are untouched) — keeps per-phase
+  /// measurements honest when the engine's reset_stats() is used.
+  virtual void reset_stats() = 0;
+
+  /// Visit every resident entry as stored (no decode) — serialization.
+  virtual void for_each(const std::function<void(const MemoEntry&)>& fn) const = 0;
+};
+
+}  // namespace atm::store

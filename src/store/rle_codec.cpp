@@ -1,0 +1,95 @@
+#include "store/rle_codec.hpp"
+
+namespace atm::store {
+
+namespace {
+constexpr std::size_t kMaxLiteral = 128;  // control 0x00..0x7f => 1..128 bytes
+constexpr std::size_t kMinRun = 3;        // shorter runs cost more than literals
+constexpr std::size_t kMaxRun = 129;      // control 0x80..0xff => 2..129 repeats
+}  // namespace
+
+void rle_encode(std::span<const std::uint8_t> bytes, std::vector<std::uint8_t>* out) {
+  std::size_t i = 0;
+  const std::size_t n = bytes.size();
+  std::size_t literal_start = 0;
+
+  const auto flush_literals = [&](std::size_t end) {
+    std::size_t pos = literal_start;
+    while (pos < end) {
+      const std::size_t chunk = (end - pos < kMaxLiteral) ? end - pos : kMaxLiteral;
+      out->push_back(static_cast<std::uint8_t>(chunk - 1));
+      out->insert(out->end(), bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                  bytes.begin() + static_cast<std::ptrdiff_t>(pos + chunk));
+      pos += chunk;
+    }
+  };
+
+  while (i < n) {
+    std::size_t run = 1;
+    while (i + run < n && bytes[i + run] == bytes[i] && run < kMaxRun) ++run;
+    if (run >= kMinRun) {
+      flush_literals(i);
+      out->push_back(static_cast<std::uint8_t>(0x80u + (run - 2)));
+      out->push_back(bytes[i]);
+      i += run;
+      literal_start = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(n);
+}
+
+bool rle_decode(std::span<const std::uint8_t> stream, std::size_t expected_bytes,
+                std::vector<std::uint8_t>* out) {
+  out->clear();
+  out->reserve(expected_bytes);
+  std::size_t i = 0;
+  const std::size_t n = stream.size();
+  while (i < n) {
+    const std::uint8_t c = stream[i++];
+    if (c < 0x80u) {
+      const std::size_t count = static_cast<std::size_t>(c) + 1;
+      if (i + count > n || out->size() + count > expected_bytes) return false;
+      out->insert(out->end(), stream.begin() + static_cast<std::ptrdiff_t>(i),
+                  stream.begin() + static_cast<std::ptrdiff_t>(i + count));
+      i += count;
+    } else {
+      const std::size_t count = static_cast<std::size_t>(c) - 126;
+      if (i >= n || out->size() + count > expected_bytes) return false;
+      out->insert(out->end(), count, stream[i++]);
+    }
+  }
+  return out->size() == expected_bytes;
+}
+
+bool encode_region(MemoRegion* region) {
+  if (region->encoding != RegionEncoding::Raw) {
+    return region->encoding == RegionEncoding::Rle;
+  }
+  std::vector<std::uint8_t> encoded;
+  encoded.reserve(region->data.size());
+  rle_encode(region->data, &encoded);
+  if (encoded.size() >= region->data.size()) return false;  // raw fallback
+  region->raw_bytes = region->data.size();
+  region->data = std::move(encoded);
+  region->data.shrink_to_fit();
+  region->encoding = RegionEncoding::Rle;
+  return true;
+}
+
+bool decode_region(MemoRegion* region) {
+  if (region->encoding == RegionEncoding::Raw) {
+    region->raw_bytes = region->data.size();
+    return true;
+  }
+  std::vector<std::uint8_t> raw;
+  if (!rle_decode(region->data, static_cast<std::size_t>(region->raw_bytes), &raw)) {
+    return false;
+  }
+  region->data = std::move(raw);
+  region->encoding = RegionEncoding::Raw;
+  return true;
+}
+
+}  // namespace atm::store

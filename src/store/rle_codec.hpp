@@ -1,0 +1,40 @@
+// Byte-wise run-length codec for L2 snapshot payloads (packbits-style).
+//
+// Stencil/pricing output snapshots contain long byte runs early in a run
+// (uniform initial blocks, saturated regions) and near-incompressible float
+// soup later; the codec therefore always guards with a raw fallback at the
+// region level — encode_region() only switches a region to Rle when the
+// stream is strictly smaller than the raw payload.
+//
+// Stream grammar (one control byte at a time):
+//   c in [0x00, 0x7f]: the next c+1 bytes are literals
+//   c in [0x80, 0xff]: the next byte repeats c-126 times (2..129)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "store/memo_store.hpp"
+
+namespace atm::store {
+
+/// Encode `bytes` into a packbits stream (appended to `out`).
+void rle_encode(std::span<const std::uint8_t> bytes, std::vector<std::uint8_t>* out);
+
+/// Decode a packbits stream; false when the stream is malformed or does not
+/// decode to exactly `expected_bytes` bytes.
+[[nodiscard]] bool rle_decode(std::span<const std::uint8_t> stream,
+                              std::size_t expected_bytes,
+                              std::vector<std::uint8_t>* out);
+
+/// Compress a Raw region in place when the encoded stream is smaller; no-op
+/// (still Raw) otherwise or when the region is already encoded.
+/// Returns true when the region ends up Rle.
+bool encode_region(MemoRegion* region);
+
+/// Decode a region back to Raw in place. Returns false (region unchanged)
+/// when an Rle payload is malformed. Raw regions are a no-op success.
+[[nodiscard]] bool decode_region(MemoRegion* region);
+
+}  // namespace atm::store

@@ -1,0 +1,64 @@
+// Persistent memo-store snapshots: a versioned, checksummed binary image of
+// the trained memoization state, so `atm_run --save-store/--load-store`
+// warm-starts a run from a previous process — steady-state hit rate from
+// iteration 1, zero training executions on restart.
+//
+// On-disk layout (native-endian; snapshots are a same-machine warm-start
+// artifact, not an interchange format):
+//
+//   bytes 0..7   magic "ATMSTOR\0"
+//   u32          format version (kFormatVersion)
+//   u32          reserved (0)
+//   u64          payload size in bytes
+//   u64          lookup3 checksum of the payload (seed kChecksumSeed)
+//   payload:
+//     u32 n_controllers { u32 type_id, u8 steady, u64 p_bits, u64 trained }
+//     u64 n_l1 entries, u64 n_l2 entries, then each entry:
+//       u32 type_id, u64 hash, u64 p_bits, u64 creator, u32 n_regions
+//       region: u8 elem, u8 encoding, u64 raw_bytes, u64 size, bytes[size]
+//
+// load() verifies magic, version, sizes and checksum before touching any
+// payload field; every parse is bounds-checked, so a truncated or corrupted
+// file fails cleanly instead of warm-starting from garbage.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "store/memo_store.hpp"
+
+namespace atm::store {
+
+inline constexpr char kMagic[8] = {'A', 'T', 'M', 'S', 'T', 'O', 'R', '\0'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint64_t kChecksumSeed = 0xa7151e57ULL;
+
+/// Per-task-type training-controller state worth persisting: the trained p
+/// and whether training finished. Type ids are registration-order dense, so
+/// an image is valid for programs registering the same types in the same
+/// order (true for every app in this repo; documented in ARCHITECTURE.md).
+struct ControllerState {
+  std::uint32_t type_id = 0;
+  bool steady = false;
+  double p = 1.0;
+  std::uint64_t trained_tasks = 0;
+};
+
+/// Everything a warm start needs: both tiers + the p-controllers.
+struct StoreImage {
+  std::vector<ControllerState> controllers;
+  std::vector<MemoEntry> l1;  ///< hot-tier (THT) entries
+  std::vector<MemoEntry> l2;  ///< capacity-tier entries (as stored, maybe Rle)
+};
+
+/// Serialize `image` to `path` (atomically enough for a CLI tool: write then
+/// flush; partial files fail the checksum on load). False + *error on I/O
+/// failure.
+bool save(const std::string& path, const StoreImage& image, std::string* error = nullptr);
+
+/// Read and verify an image. std::nullopt + *error when the file is
+/// missing, truncated, version-mismatched, corrupted, or malformed.
+[[nodiscard]] std::optional<StoreImage> load(const std::string& path,
+                                             std::string* error = nullptr);
+
+}  // namespace atm::store

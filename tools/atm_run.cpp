@@ -13,6 +13,12 @@
 //   --verify-full-inputs   §III-E full-input check on exact hits
 //   --lru                  LRU eviction instead of FIFO
 //   --n=K  --m=K           THT sizing: 2^n buckets, m entries per bucket
+//   --l2                   enable the L2 capacity tier behind the THT
+//   --l2-budget-mb=K       L2 byte budget in MiB            (default: 64)
+//   --l2-shards=K          2^K L2 shards                    (default: 4)
+//   --l2-compress          RLE-compress demoted snapshots
+//   --save-store=PATH      persist THT + L2 + p-controllers after the run
+//   --load-store=PATH      warm-start from a saved store (zero training)
 //   --trace                print the per-core ASCII timeline
 //   --baseline             also run mode=off and report speedup/correctness
 #include <cstdio>
@@ -55,7 +61,9 @@ int usage(const char* argv0) {
                "usage: %s [app] [--mode=off|static|dynamic|fixed] [--p=F]\n"
                "          [--threads=N] [--preset=test|bench|paper] [--no-ikt]\n"
                "          [--no-type-aware] [--verify-full-inputs] [--lru]\n"
-               "          [--n=K] [--m=K] [--trace] [--baseline]\n",
+               "          [--n=K] [--m=K] [--l2] [--l2-budget-mb=K] [--l2-shards=K]\n"
+               "          [--l2-compress] [--save-store=PATH] [--load-store=PATH]\n"
+               "          [--trace] [--baseline]\n",
                argv0);
   return 2;
 }
@@ -91,6 +99,23 @@ bool parse(int argc, char** argv, Options* opts) {
       opts->config.verify_full_inputs = true;
     } else if (parse_flag(arg, "--lru", &value)) {
       opts->config.eviction = EvictionPolicy::Lru;
+    } else if (parse_flag(arg, "--l2-budget-mb", &value)) {
+      opts->config.l2_enabled = true;
+      opts->config.l2_budget_bytes =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10)) << 20;
+    } else if (parse_flag(arg, "--l2-shards", &value)) {
+      opts->config.l2_enabled = true;
+      opts->config.l2_log2_shards =
+          static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+    } else if (parse_flag(arg, "--l2-compress", &value)) {
+      opts->config.l2_enabled = true;
+      opts->config.l2_compress = true;
+    } else if (parse_flag(arg, "--l2", &value)) {
+      opts->config.l2_enabled = true;
+    } else if (parse_flag(arg, "--save-store", &value)) {
+      opts->config.save_store_path = value;
+    } else if (parse_flag(arg, "--load-store", &value)) {
+      opts->config.load_store_path = value;
     } else if (parse_flag(arg, "--n", &value)) {
       opts->config.log2_buckets = static_cast<unsigned>(std::strtoul(value, nullptr, 10));
     } else if (parse_flag(arg, "--m", &value)) {
@@ -118,6 +143,7 @@ void run_one(const App& app, const Options& opts, TablePrinter* table) {
   }
   const RunResult run = app.run(opts.config);
 
+  const bool l2 = opts.config.l2_enabled;
   std::vector<std::string> row{
       app.name(),
       atm_mode_name(opts.config.mode),
@@ -126,8 +152,13 @@ void run_one(const App& app, const Options& opts, TablePrinter* table) {
       std::to_string(run.counters.submitted),
       std::to_string(run.atm.tht_hits),
       std::to_string(run.atm.ikt_hits),
+      // L2 traffic: hits (all promoted) / demotions from THT evictions.
+      l2 ? std::to_string(run.atm.l2_hits) + "/" + std::to_string(run.atm.l2_demotions)
+         : "-",
       run.final_p > 0 ? fmt_percent(run.final_p, 4) : "-",
       fmt_bytes(run.atm_memory_bytes),
+      // Resident store bytes (L2 payload + index), inside "ATM mem" above.
+      l2 ? fmt_bytes(run.atm.l2_memory_bytes) : "-",
   };
   if (opts.baseline) {
     row.push_back(fmt_speedup(baseline.wall_seconds / run.wall_seconds));
@@ -148,8 +179,9 @@ int main(int argc, char** argv) {
   Options opts;
   if (!parse(argc, argv, &opts)) return usage(argv[0]);
 
-  std::vector<std::string> header{"Benchmark", "Mode",    "Wall",  "Reuse", "Tasks",
-                                  "THT hits",  "IKT hits", "p",     "ATM mem"};
+  std::vector<std::string> header{"Benchmark", "Mode",     "Wall",      "Reuse",
+                                  "Tasks",     "THT hits", "IKT hits",  "L2 h/d",
+                                  "p",         "ATM mem",  "Store mem"};
   if (opts.baseline) {
     header.push_back("Speedup");
     header.push_back("Correctness");
