@@ -11,8 +11,10 @@
 
 #include "apps/app_registry.hpp"
 #include "common/env.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/timing.hpp"
 
 namespace atm::bench {
 
@@ -42,6 +44,70 @@ using apps::RunResult;
   });
   return std::move(runs[runs.size() / 2]);
 }
+
+/// Fine-grained (small-task) scheduler preset: `num_tasks` independent tiny
+/// tasks per wave — each a ~64-FLOP kernel, far below the paper's task
+/// sizes — across `waves` taskwait barriers. At this grain the per-task
+/// runtime overhead IS the workload, so the returned tasks/second measures
+/// the scheduler hot path (central RQ vs work stealing), not the kernels.
+[[nodiscard]] inline double sched_storm_tasks_per_sec(rt::SchedPolicy sched,
+                                                      unsigned threads,
+                                                      std::size_t num_tasks,
+                                                      int waves) {
+  rt::Runtime runtime({.num_threads = threads, .sched = sched});
+  const auto* type =
+      runtime.register_type({.name = "fine", .memoizable = false, .atm = {}});
+  std::vector<float> cells(num_tasks, 1.0f);
+  Timer timer;
+  for (int w = 0; w < waves; ++w) {
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      float* cell = &cells[i];
+      runtime.submit(type,
+                     [cell] {
+                       float x = *cell;
+                       for (int k = 0; k < 16; ++k) x = x * 1.0001f + 0.0001f;
+                       *cell = x;
+                     },
+                     {rt::inout(cell, 1)});
+    }
+    runtime.taskwait();
+  }
+  const double secs = timer.elapsed_s();
+  return static_cast<double>(num_tasks) * waves / secs;
+}
+
+/// Median tasks/second of `reps` storm runs.
+[[nodiscard]] inline double sched_storm_median(rt::SchedPolicy sched, unsigned threads,
+                                               std::size_t num_tasks, int waves,
+                                               int reps) {
+  std::vector<double> rates;
+  for (int r = 0; r < reps; ++r) {
+    rates.push_back(sched_storm_tasks_per_sec(sched, threads, num_tasks, waves));
+  }
+  std::sort(rates.begin(), rates.end());
+  return rates[rates.size() / 2];
+}
+
+/// Six float input regions (the Blackscholes shape) for the gathered-vs-
+/// planned compute_key comparison. Shared by micro_atm and pr3_hotpath so
+/// both harnesses measure exactly the same workload and their numbers stay
+/// comparable.
+struct MultiRegionKeyFixture {
+  static constexpr std::size_t kRegions = 6;
+  static constexpr std::size_t kFloatsPerRegion = 4096;
+  std::vector<std::vector<float>> regions{kRegions};
+  rt::Task task;
+  InputSampler sampler{true, 3};
+
+  MultiRegionKeyFixture() {
+    Rng rng(17);
+    for (auto& r : regions) {
+      r.resize(kFloatsPerRegion);
+      for (auto& v : r) v = rng.next_float(0.0f, 4.0f);
+      task.accesses.push_back(rt::in(r.data(), r.size()));
+    }
+  }
+};
 
 /// The 16 p configurations of Dynamic ATM: 2^-15 .. 2^0 (§III-D).
 [[nodiscard]] inline std::vector<double> p_steps() {

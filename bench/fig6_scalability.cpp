@@ -72,5 +72,33 @@ int main() {
             << " hardware threads; counts above that oversubscribe, which\n"
                "flattens absolute scaling but keeps the ATM-on/ATM-off ratio\n"
                "meaningful (both sides share the distortion).\n";
+
+  // --- Scheduler A/B: the central-queue ceiling ----------------------------
+  // Fine-grained (small-task) preset: tasks so small the per-task runtime
+  // overhead dominates, making the ready-queue path the bottleneck. This is
+  // the regime where the central mutex+condvar RQ caps scaling and the
+  // work-stealing scheduler (per-worker deques) is expected to lift
+  // throughput at every thread count.
+  print_header("Figure 6 addendum: SCHEDULER A/B (central RQ vs work stealing)",
+               "Fine-grained task storm (64-FLOP tasks); tasks/second, higher "
+               "is better");
+  {
+    const std::size_t storm_tasks = 20'000;
+    const int storm_waves = 5;
+    TablePrinter sched_table(
+        {"Threads", "central [tasks/s]", "steal [tasks/s]", "steal/central"});
+    for (unsigned t : thread_counts) {
+      const double central = sched_storm_median(rt::SchedPolicy::Central, t,
+                                                storm_tasks, storm_waves, reps);
+      const double steal = sched_storm_median(rt::SchedPolicy::Steal, t,
+                                              storm_tasks, storm_waves, reps);
+      sched_table.add_row({std::to_string(t), fmt_double(central / 1e3, 0) + "k",
+                           fmt_double(steal / 1e3, 0) + "k",
+                           fmt_speedup(steal / central)});
+    }
+    sched_table.print(std::cout);
+    std::cout << "\nThe apps above run under the steal scheduler by default;\n"
+                 "rerun with `atm_run --sched central` for the app-level A/B.\n";
+  }
   return 0;
 }

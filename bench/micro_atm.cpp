@@ -4,12 +4,16 @@
 // memcpy; the stencil body is not).
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "apps/stencil_common.hpp"
 #include "atm_lib.hpp"
+#include "bench_common.hpp"
 #include "common/rng.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace {
 
@@ -64,6 +68,101 @@ void BM_ComputeKey_SampledGather(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ComputeKey_SampledGather);
+
+// --- Ready-queue push/pop under contention: central vs steal ---------------
+// Each benchmark thread plays worker t: push one task (worker-local lane for
+// the steal scheduler), pop one back. Central funnels every op through the
+// one mutex+condvar; steal keeps the pair on the thread's own deque.
+
+std::unique_ptr<rt::Scheduler> g_sched;  // set by thread 0; read after the
+                                         // state-loop entry barrier only
+// Fixed-size and never resized: threads index it before the start barrier,
+// so any reallocation here would race thread 0's setup.
+std::array<rt::Task, 8> g_sched_tasks;
+
+template <rt::SchedPolicy kPolicy>
+void BM_Sched_PushPop(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_sched = rt::Scheduler::make(kPolicy, static_cast<unsigned>(state.threads()),
+                                  nullptr);
+  }
+  const auto me = static_cast<unsigned>(state.thread_index());
+  rt::Task* mine = &g_sched_tasks[me];
+  for (auto _ : state) {
+    g_sched->push(mine, me);
+    benchmark::DoNotOptimize(g_sched->try_pop(me));
+  }
+  if (state.thread_index() == 0) {
+    g_sched->shutdown();
+    g_sched.reset();
+  }
+}
+BENCHMARK_TEMPLATE(BM_Sched_PushPop, rt::SchedPolicy::Central)
+    ->Name("BM_Sched_PushPop_Central")->Threads(1)->Threads(2)->Threads(4)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(BM_Sched_PushPop, rt::SchedPolicy::Steal)
+    ->Name("BM_Sched_PushPop_Steal")->Threads(1)->Threads(2)->Threads(4)
+    ->UseRealTime();
+
+// External-submission flavor: every push arrives from a non-worker lane (the
+// master's path): round-robin inboxes for steal, the same global lock for
+// central.
+template <rt::SchedPolicy kPolicy>
+void BM_Sched_ExternalPushPop(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_sched = rt::Scheduler::make(kPolicy, static_cast<unsigned>(state.threads()),
+                                  nullptr);
+  }
+  const auto me = static_cast<unsigned>(state.thread_index());
+  const auto external_lane = static_cast<std::size_t>(state.threads());
+  rt::Task* mine = &g_sched_tasks[me];
+  for (auto _ : state) {
+    g_sched->push(mine, external_lane);
+    benchmark::DoNotOptimize(g_sched->try_pop(me));
+  }
+  if (state.thread_index() == 0) {
+    g_sched->shutdown();
+    g_sched.reset();
+  }
+}
+BENCHMARK_TEMPLATE(BM_Sched_ExternalPushPop, rt::SchedPolicy::Central)
+    ->Name("BM_Sched_ExternalPushPop_Central")->Threads(1)->Threads(2)->Threads(4)
+    ->UseRealTime();
+BENCHMARK_TEMPLATE(BM_Sched_ExternalPushPop, rt::SchedPolicy::Steal)
+    ->Name("BM_Sched_ExternalPushPop_Steal")->Threads(1)->Threads(2)->Threads(4)
+    ->UseRealTime();
+
+// --- compute_key: per-byte gather vs precomputed plan ----------------------
+// Multi-region task (six float regions, the Blackscholes shape) so the
+// per-byte path pays the region scan on every selected byte. range(0) is
+// p in permille.
+
+void BM_ComputeKey_GatherPerByte(benchmark::State& state) {
+  bench::MultiRegionKeyFixture bench;
+  const double p = static_cast<double>(state.range(0)) / 1000.0;
+  const auto layout = InputLayout::from_task(bench.task);
+  const auto& order = bench.sampler.order_for(0, layout);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_key(bench.task, order, p, 4).key);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(selection_count(layout.total_bytes(), p)));
+}
+BENCHMARK(BM_ComputeKey_GatherPerByte)->Arg(50)->Arg(100)->Arg(300);
+
+void BM_ComputeKey_Planned(benchmark::State& state) {
+  bench::MultiRegionKeyFixture bench;
+  const double p = static_cast<double>(state.range(0)) / 1000.0;
+  const auto layout = InputLayout::from_task(bench.task);
+  const GatherPlan& plan = bench.sampler.plan_for(0, layout, p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_key(bench.task, plan, 4).key);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(plan.bytes));
+}
+BENCHMARK(BM_ComputeKey_Planned)->Arg(50)->Arg(100)->Arg(300);
 
 void BM_Tht_InsertEvictCycle(benchmark::State& state) {
   // Small M so eviction continuously recycles arena buffers (steady state).

@@ -19,6 +19,9 @@ enum class Preset { Test, Bench, Paper };
 /// Per-run configuration shared by every app.
 struct RunConfig {
   unsigned threads = 2;
+  /// Ready-task scheduler: work stealing by default; Central is the paper's
+  /// single locked RQ, kept for A/B runs (`atm_run --sched central`).
+  rt::SchedPolicy sched = rt::SchedPolicy::Steal;
   AtmMode mode = AtmMode::Off;
   double fixed_p = 1.0;           ///< FixedP (Oracle) runs
   bool use_ikt = true;

@@ -98,7 +98,8 @@ RunResult BlackscholesApp::run(const RunConfig& config) const {
   }
 
   auto engine = make_engine(config);
-  rt::Runtime runtime({.num_threads = config.threads, .enable_tracing = config.tracing});
+  rt::Runtime runtime({.num_threads = config.threads, .enable_tracing = config.tracing,
+                       .sched = config.sched});
   if (engine != nullptr) runtime.attach_memoizer(engine.get());
 
   const auto* bs_type = runtime.register_type(

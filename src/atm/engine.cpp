@@ -126,10 +126,12 @@ rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size
 
   const double p = ctl.current_p();
   const InputLayout layout = InputLayout::from_task(task);
-  const auto& order = sampler_.order_for(type.id(), layout);
+  // Planned gather (cached per type/layout/p): coalesced contiguous spans
+  // instead of a per-byte scatter walk over the shuffled order.
+  const GatherPlan& plan = sampler_.plan_for(type.id(), layout, p);
 
   const std::uint64_t h0 = now_ns();
-  const KeyResult key = compute_key(task, order, p, key_seed(type.id(), layout));
+  const KeyResult key = compute_key(task, plan, key_seed(type.id(), layout));
   const std::uint64_t h1 = now_ns();
   if (runtime_ != nullptr) {
     runtime_->tracer().record(lane, rt::TraceState::HashKey, h0, h1);

@@ -1,5 +1,7 @@
 #include "atm/hash_key.hpp"
 
+#include <cassert>
+
 #include "atm/input_sampler.hpp"
 
 namespace atm {
@@ -30,7 +32,11 @@ struct ConcatView {
     for (const auto& p : pieces) {
       if (global < p.end) return p.data[global - p.begin];
     }
-    return 0;  // unreachable for valid indexes
+    // An index past the last region means the caller's order/plan was built
+    // for a different layout — the key would silently alias another task's.
+    // Fail loudly in Debug instead of hashing fabricated zero bytes.
+    assert(false && "ConcatView::at: byte index out of range of the task's inputs");
+    return 0;
   }
 
   [[nodiscard]] std::size_t total() const noexcept {
@@ -71,6 +77,57 @@ KeyResult compute_key(const rt::Task& task, const std::vector<std::uint32_t>& or
   }
   if (fill != 0) stream.update(std::span<const std::uint8_t>(staging, fill));
   return {stream.finalize(), count};
+}
+
+KeyResult compute_key(const rt::Task& task, const GatherPlan& plan,
+                      std::uint64_t seed) {
+  HashStream stream(seed);
+
+  // Runs are sorted by (region, offset) by construction, so one lockstep
+  // walk over the task's input regions consumes them all — no allocation,
+  // no per-byte region resolution. Sampled selections produce mostly short
+  // runs (type-aware mode picks stride-elem_size MSB positions), so short
+  // runs are gathered into a staging block first and hashed in bulk: the
+  // HashStream per-call cost is paid per ~4 KiB, not per run.
+  std::uint8_t staging[4096];
+  std::size_t fill = 0;
+  auto flush = [&] {
+    stream.update(std::span<const std::uint8_t>(staging, fill));
+    fill = 0;
+  };
+
+  std::size_t run_idx = 0;
+  std::uint32_t region = 0;
+  for (const auto& a : task.accesses) {
+    if (!a.is_input()) continue;
+    const auto* base = static_cast<const std::uint8_t*>(a.ptr);
+    while (run_idx < plan.runs.size() && plan.runs[run_idx].region == region) {
+      const GatherPlan::Run& run = plan.runs[run_idx++];
+      assert(static_cast<std::size_t>(run.offset) + run.length <= a.bytes &&
+             "GatherPlan run exceeds its region: plan built for another layout");
+      if (run.length == 1) {
+        // Dominant case under type-aware sampling: the selection is the MSB
+        // of every element, stride elem_size apart — nothing coalesces.
+        if (fill == sizeof staging) flush();
+        staging[fill++] = base[run.offset];
+        continue;
+      }
+      if (run.length >= sizeof staging / 4) {
+        // Long run (contiguous selection / p near 1): stream it directly.
+        if (fill != 0) flush();
+        stream.update(std::span<const std::uint8_t>(base + run.offset, run.length));
+        continue;
+      }
+      if (fill + run.length > sizeof staging) flush();
+      std::memcpy(staging + fill, base + run.offset, run.length);
+      fill += run.length;
+    }
+    ++region;
+  }
+  if (fill != 0) flush();
+  assert(run_idx == plan.runs.size() &&
+         "GatherPlan names regions the task does not have");
+  return {stream.finalize(), plan.bytes};
 }
 
 }  // namespace atm

@@ -11,6 +11,8 @@
 
 namespace atm {
 
+struct GatherPlan;
+
 struct KeyResult {
   HashKey key = 0;
   std::size_t bytes_hashed = 0;
@@ -26,6 +28,16 @@ struct KeyResult {
 /// THT entries store p and only match keys computed with the same p.
 [[nodiscard]] KeyResult compute_key(const rt::Task& task,
                                     const std::vector<std::uint32_t>& order, double p,
+                                    std::uint64_t seed);
+
+/// Planned variant (the hot path): stream the precomputed coalesced
+/// (region, offset, length) runs of `plan` — contiguous HashStream updates,
+/// no per-byte region resolution. The digest convention differs from the
+/// order-based gather (bytes are fed in ascending layout order, not shuffle
+/// order); the two never meet in one THT because the engine uses exactly one
+/// convention per run. At p >= 1 the plan is one run per region, making this
+/// digest-identical to the order-based full-input fast path.
+[[nodiscard]] KeyResult compute_key(const rt::Task& task, const GatherPlan& plan,
                                     std::uint64_t seed);
 
 }  // namespace atm

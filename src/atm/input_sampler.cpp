@@ -1,6 +1,7 @@
 #include "atm/input_sampler.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <mutex>
 
@@ -31,6 +32,73 @@ std::size_t selection_count(std::size_t total_bytes, double p) noexcept {
   const auto n = static_cast<std::size_t>(
       std::ceil(static_cast<double>(total_bytes) * p));
   return std::max<std::size_t>(1, std::min(n, total_bytes));
+}
+
+GatherPlan build_gather_plan(const InputLayout& layout,
+                             const std::vector<std::uint32_t>& order, double p) {
+  GatherPlan plan;
+  const std::size_t total = layout.total_bytes();
+  const std::size_t count = selection_count(total, p);
+  plan.bytes = count;
+  if (count == 0) return plan;
+
+  // Sort the selected prefix: the hash no longer needs the shuffled order
+  // (any fixed convention works, keys only meet same-plan keys), and sorted
+  // indexes coalesce into contiguous runs.
+  std::vector<std::uint32_t> selected(order.begin(),
+                                      order.begin() + static_cast<std::ptrdiff_t>(count));
+  std::sort(selected.begin(), selected.end());
+
+  // Region boundaries as global offsets, for splitting runs per region.
+  std::vector<std::size_t> region_begin;
+  region_begin.reserve(layout.regions.size());
+  std::size_t off = 0;
+  for (const auto& r : layout.regions) {
+    region_begin.push_back(off);
+    off += r.bytes;
+  }
+
+  std::size_t region = 0;
+  for (std::size_t i = 0; i < selected.size();) {
+    // Find the region holding selected[i] (indexes ascend, so the region
+    // cursor only moves forward — the whole build is O(count + regions)).
+    while (region + 1 < region_begin.size() && selected[i] >= region_begin[region + 1]) {
+      ++region;
+    }
+    const std::size_t region_end =
+        region_begin[region] + layout.regions[region].bytes;
+    // Extend the run while indexes stay consecutive and inside the region.
+    std::size_t j = i + 1;
+    while (j < selected.size() && selected[j] == selected[j - 1] + 1 &&
+           selected[j] < region_end) {
+      ++j;
+    }
+    plan.runs.push_back({static_cast<std::uint32_t>(region),
+                         static_cast<std::uint32_t>(selected[i] - region_begin[region]),
+                         static_cast<std::uint32_t>(j - i)});
+    i = j;
+  }
+  plan.runs.shrink_to_fit();
+  return plan;
+}
+
+const GatherPlan& InputSampler::plan_for(std::uint32_t type_id,
+                                         const InputLayout& layout, double p) {
+  // p >= 1 selects everything; collapse all such values onto one cache slot.
+  const double effective_p = p >= 1.0 ? 1.0 : p;
+  const PlanKey key{type_id, layout.fingerprint(),
+                    std::bit_cast<std::uint64_t>(effective_p)};
+  {
+    std::shared_lock<std::shared_mutex> lock(plan_mutex_);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) return *it->second;
+  }
+  const auto& order = order_for(type_id, layout);
+  auto plan = std::make_unique<GatherPlan>(build_gather_plan(layout, order, effective_p));
+  std::unique_lock<std::shared_mutex> lock(plan_mutex_);
+  auto [it, inserted] = plans_.emplace(key, std::move(plan));
+  (void)inserted;  // a racing builder may have won; theirs is equivalent
+  return *it->second;
 }
 
 const std::vector<std::uint32_t>& InputSampler::order_for(std::uint32_t type_id,
@@ -87,11 +155,20 @@ std::vector<std::uint32_t> InputSampler::build_order(std::uint32_t type_id,
 }
 
 std::size_t InputSampler::memory_bytes() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::size_t n = 0;
-  for (const auto& [key, vec] : cache_) {
-    (void)key;
-    n += vec->capacity() * sizeof(std::uint32_t) + sizeof(*vec);
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    for (const auto& [key, vec] : cache_) {
+      (void)key;
+      n += vec->capacity() * sizeof(std::uint32_t) + sizeof(*vec);
+    }
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(plan_mutex_);
+    for (const auto& [key, plan] : plans_) {
+      (void)key;
+      n += plan->memory_bytes();
+    }
   }
   return n;
 }
@@ -99,6 +176,11 @@ std::size_t InputSampler::memory_bytes() const {
 std::size_t InputSampler::cache_entries() const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   return cache_.size();
+}
+
+std::size_t InputSampler::plan_entries() const {
+  std::shared_lock<std::shared_mutex> lock(plan_mutex_);
+  return plans_.size();
 }
 
 }  // namespace atm

@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <shared_mutex>
+#include <tuple>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -48,6 +49,34 @@ struct InputLayout {
 /// ceil(total*p) shuffled indexes, at least 1 (§III-B; p in (0, 1]).
 [[nodiscard]] std::size_t selection_count(std::size_t total_bytes, double p) noexcept;
 
+/// A precomputed gather: the shuffled index prefix for one (type, layout, p)
+/// sorted and coalesced into contiguous (region, offset, length) runs. Key
+/// hashing then streams whole spans instead of chasing `count x regions`
+/// single-byte lookups — the byte *set* is identical to the shuffled prefix,
+/// only the digest order changes (THT keys only ever meet keys computed via
+/// the same plan, so the digest convention is free to differ from the
+/// per-byte gather's).
+struct GatherPlan {
+  struct Run {
+    std::uint32_t region = 0;  ///< index into the task's input regions
+    std::uint32_t offset = 0;  ///< byte offset within that region
+    std::uint32_t length = 0;  ///< contiguous byte count
+  };
+  std::vector<Run> runs;
+  std::size_t bytes = 0;  ///< total selected bytes (== selection_count)
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return runs.capacity() * sizeof(Run) + sizeof(*this);
+  }
+};
+
+/// Build a plan from the first selection_count(total, p) entries of `order`.
+/// Exposed for tests and benches; production callers use
+/// InputSampler::plan_for, which caches the result.
+[[nodiscard]] GatherPlan build_gather_plan(const InputLayout& layout,
+                                           const std::vector<std::uint32_t>& order,
+                                           double p);
+
 class InputSampler {
  public:
   InputSampler(bool type_aware, std::uint64_t seed)
@@ -59,6 +88,14 @@ class InputSampler {
   const std::vector<std::uint32_t>& order_for(std::uint32_t type_id,
                                               const InputLayout& layout);
 
+  /// The coalesced gather plan for (type, layout, p). Built once from the
+  /// shuffled order on first use, then shared read-only; Dynamic training
+  /// touches at most kPConfigs distinct p values per type, so the cache
+  /// stays small. The hot path (AtmEngine::on_task_ready) uses this instead
+  /// of the raw order.
+  const GatherPlan& plan_for(std::uint32_t type_id, const InputLayout& layout,
+                             double p);
+
   [[nodiscard]] bool type_aware() const noexcept { return type_aware_; }
 
   /// Bytes held by cached index vectors (part of ATM's Table III footprint).
@@ -66,6 +103,9 @@ class InputSampler {
 
   /// Cached (type, layout) combinations.
   [[nodiscard]] std::size_t cache_entries() const;
+
+  /// Cached (type, layout, p) gather plans.
+  [[nodiscard]] std::size_t plan_entries() const;
 
  private:
   [[nodiscard]] std::vector<std::uint32_t> build_order(std::uint32_t type_id,
@@ -77,6 +117,13 @@ class InputSampler {
   std::map<std::pair<std::uint32_t, std::uint64_t>,
            std::unique_ptr<std::vector<std::uint32_t>>>
       cache_;
+
+  /// Plans keyed by (type, layout fingerprint, bit pattern of p). p values
+  /// come from the 16-step training ladder or a caller-fixed constant, so
+  /// bitwise identity is the right equality.
+  using PlanKey = std::tuple<std::uint32_t, std::uint64_t, std::uint64_t>;
+  mutable std::shared_mutex plan_mutex_;
+  std::map<PlanKey, std::unique_ptr<GatherPlan>> plans_;
 };
 
 }  // namespace atm

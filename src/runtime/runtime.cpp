@@ -15,8 +15,9 @@ thread_local std::ptrdiff_t tls_lane = -1;
 Runtime::Runtime(RuntimeConfig config)
     : num_threads_(config.num_threads != 0 ? config.num_threads
                                            : std::max(1u, std::thread::hardware_concurrency())),
+      sched_policy_(config.sched),
       tracer_(std::make_unique<TraceRecorder>(num_threads_ + 1, config.enable_tracing)),
-      queue_(tracer_.get()) {
+      sched_(Scheduler::make(config.sched, num_threads_, tracer_.get())) {
   workers_.reserve(num_threads_);
   for (unsigned w = 0; w < num_threads_; ++w) {
     workers_.emplace_back([this, w] { worker_main(w); });
@@ -26,7 +27,7 @@ Runtime::Runtime(RuntimeConfig config)
 
 Runtime::~Runtime() {
   taskwait();
-  queue_.shutdown();
+  sched_->shutdown();
   for (auto& t : workers_) t.join();
 }
 
@@ -84,7 +85,7 @@ void Runtime::submit(const TaskType* type, std::function<void()> fn,
     std::lock_guard<std::mutex> lock(counters_mutex_);
     ++counters_.submitted;
   }
-  if (ready) queue_.push(task);
+  if (ready) sched_->push(task, current_lane());
 }
 
 void Runtime::taskwait() {
@@ -102,7 +103,7 @@ void Runtime::worker_main(unsigned worker_id) {
     Task* task = nullptr;
     {
       TraceScope idle(tracer_.get(), worker_id, TraceState::Idle);
-      task = queue_.pop_blocking();
+      task = sched_->pop_blocking(worker_id);
     }
     if (task == nullptr) return;
     process_task(task, worker_id);
@@ -176,7 +177,8 @@ void Runtime::complete_task(Task& task) {
     --pending_tasks_;
     all_done = pending_tasks_ == 0;
   }
-  for (Task* succ : newly_ready) queue_.push(succ);
+  const std::size_t lane = current_lane();
+  for (Task* succ : newly_ready) sched_->push(succ, lane);
   if (all_done) all_done_cv_.notify_all();
 }
 

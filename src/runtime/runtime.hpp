@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "runtime/dependency_tracker.hpp"
-#include "runtime/ready_queue.hpp"
+#include "runtime/scheduler.hpp"
 #include "runtime/task.hpp"
 #include "runtime/task_type.hpp"
 #include "runtime/trace.hpp"
@@ -55,6 +55,10 @@ struct RuntimeConfig {
   unsigned num_threads = 0;
   /// Record per-thread state timelines and RQ depth samples (Figs. 7-8).
   bool enable_tracing = false;
+  /// Ready-task scheduling policy. Steal (per-worker deques + work stealing)
+  /// is the default; Central is the paper's single mutex+condvar RQ, kept
+  /// for A/B comparison (`atm_run --sched central`).
+  SchedPolicy sched = SchedPolicy::Steal;
 };
 
 /// Monotonic counters; cheap enough to keep always-on.
@@ -95,6 +99,7 @@ class Runtime {
   void complete_without_execution(Task& task, bool via_ikt);
 
   [[nodiscard]] unsigned num_threads() const noexcept { return num_threads_; }
+  [[nodiscard]] SchedPolicy sched_policy() const noexcept { return sched_policy_; }
   [[nodiscard]] TraceRecorder& tracer() noexcept { return *tracer_; }
   [[nodiscard]] const TraceRecorder& tracer() const noexcept { return *tracer_; }
 
@@ -112,8 +117,9 @@ class Runtime {
   void complete_task(Task& task);
 
   unsigned num_threads_;
+  SchedPolicy sched_policy_;
   std::unique_ptr<TraceRecorder> tracer_;
-  ReadyQueue queue_;
+  std::unique_ptr<Scheduler> sched_;
 
   mutable std::mutex graph_mutex_;
   std::condition_variable all_done_cv_;

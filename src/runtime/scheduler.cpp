@@ -1,0 +1,177 @@
+#include "runtime/scheduler.hpp"
+
+#include <thread>
+
+#include "common/timing.hpp"
+
+namespace atm::rt {
+
+namespace {
+/// Acquire rounds a worker attempts (yielding between rounds) before it
+/// parks. Each round sweeps every victim, so even a short budget gives the
+/// whole pool several chances to hand work over without a futex round trip;
+/// keeping it small matters on oversubscribed machines where spinning steals
+/// cycles from the thread that would produce the work.
+constexpr int kSpinRounds = 64;
+}  // namespace
+
+std::unique_ptr<Scheduler> Scheduler::make(SchedPolicy policy, unsigned workers,
+                                           TraceRecorder* tracer) {
+  switch (policy) {
+    case SchedPolicy::Central: return std::make_unique<CentralScheduler>(tracer);
+    case SchedPolicy::Steal: return std::make_unique<StealScheduler>(workers, tracer);
+  }
+  return std::make_unique<CentralScheduler>(tracer);
+}
+
+StealScheduler::StealScheduler(unsigned workers, TraceRecorder* tracer)
+    : workers_(workers > 0 ? workers : 1), tracer_(tracer) {
+  slots_.reserve(workers_);
+  for (unsigned w = 0; w < workers_; ++w) {
+    auto slot = std::make_unique<WorkerSlot>();
+    // Stagger the steal sweep so idle workers do not all mob victim 0.
+    slot->victim_cursor = w + 1;
+    slots_.push_back(std::move(slot));
+  }
+}
+
+void StealScheduler::note_push() {
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->sample_depth(now_ns(), items_.load(std::memory_order_relaxed));
+  }
+  // seq_cst pairs with the sleeper registration in pop_blocking: either this
+  // load sees the registered sleeper (and we wake it), or the sleeper's
+  // predicate load sees the item increment made in push() (so it never
+  // sleeps).
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    // The lock orders the notify against a sleeper that passed its predicate
+    // check but has not yet suspended.
+    std::lock_guard<std::mutex> lock(park_mutex_);
+    park_cv_.notify_one();
+  }
+}
+
+Task* StealScheduler::acquired(Task* task) {
+  items_.fetch_sub(1, std::memory_order_relaxed);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->sample_depth(now_ns(), items_.load(std::memory_order_relaxed));
+  }
+  return task;
+}
+
+void StealScheduler::push(Task* task, std::size_t lane) {
+  // Count the task BEFORE publishing it: a thief can steal it (and run the
+  // fetch_sub in acquired()) the instant it lands in a deque, and the
+  // counter must never transiently underflow — it feeds depth() and the
+  // Figure-8 ready-depth samples.
+  items_.fetch_add(1, std::memory_order_seq_cst);
+  if (lane < workers_) {
+    // Owner push: the worker making a successor ready keeps it local (LIFO,
+    // still warm in its cache); thieves pick it up from the top if not.
+    slots_[lane]->deque.push(task);
+  } else {
+    // External submission (master or any non-worker thread): round-robin
+    // across inboxes so a storm spreads over the pool.
+    const std::uint32_t w = rr_.fetch_add(1, std::memory_order_relaxed) % workers_;
+    std::lock_guard<std::mutex> lock(slots_[w]->inbox_mutex);
+    slots_[w]->inbox.push_back(task);
+    slots_[w]->inbox_size.store(static_cast<std::uint32_t>(slots_[w]->inbox.size()),
+                                std::memory_order_relaxed);
+  }
+  note_push();
+}
+
+Task* StealScheduler::acquire_local(unsigned worker) {
+  WorkerSlot& slot = *slots_[worker];
+  if (Task* task = slot.deque.pop()) return acquired(task);
+  // Drain the inbox wholesale under one lock: a k-task submission burst
+  // costs one lock acquisition here, not k. Submission order is preserved
+  // in the deque; the worker then works LIFO while thieves take FIFO.
+  if (slot.inbox_size.load(std::memory_order_relaxed) != 0) {
+    std::lock_guard<std::mutex> lock(slot.inbox_mutex);
+    for (Task* task : slot.inbox) slot.deque.push(task);
+    slot.inbox.clear();
+    slot.inbox_size.store(0, std::memory_order_relaxed);
+  }
+  if (Task* task = slot.deque.pop()) return acquired(task);
+  return nullptr;
+}
+
+Task* StealScheduler::acquire_steal(unsigned worker) {
+  WorkerSlot& me = *slots_[worker];
+  // One full sweep over the other workers starting at the rotating cursor:
+  // deque top first (the victim's oldest task — the classic FIFO steal),
+  // then the victim's inbox so a long-running victim cannot strand external
+  // submissions behind its back.
+  for (unsigned i = 0; i < workers_; ++i) {
+    const unsigned v = (me.victim_cursor + i) % workers_;
+    if (v == worker) continue;  // every other lane is probed exactly once
+    WorkerSlot& victim = *slots_[v];
+    if (Task* task = victim.deque.steal()) {
+      me.victim_cursor = v;  // keep milking a productive victim
+      return acquired(task);
+    }
+    Task* task = nullptr;
+    if (victim.inbox_size.load(std::memory_order_relaxed) != 0 &&
+        victim.inbox_mutex.try_lock()) {
+      std::lock_guard<std::mutex> lock(victim.inbox_mutex, std::adopt_lock);
+      if (!victim.inbox.empty()) {
+        task = victim.inbox.front();
+        victim.inbox.pop_front();
+        victim.inbox_size.store(static_cast<std::uint32_t>(victim.inbox.size()),
+                                std::memory_order_relaxed);
+      }
+    }
+    if (task != nullptr) {
+      me.victim_cursor = v;
+      return acquired(task);
+    }
+  }
+  me.victim_cursor = (me.victim_cursor + 1) % workers_;
+  return nullptr;
+}
+
+Task* StealScheduler::try_pop(unsigned worker) {
+  if (Task* task = acquire_local(worker)) return task;
+  return acquire_steal(worker);
+}
+
+Task* StealScheduler::pop_blocking(unsigned worker) {
+  for (;;) {
+    // Spin phase: bounded acquire rounds with yields between them.
+    for (int round = 0; round < kSpinRounds; ++round) {
+      if (Task* task = try_pop(worker)) return task;
+      if (shutdown_.load(std::memory_order_acquire)) {
+        // Drain semantics: after shutdown keep acquiring until the system
+        // is globally empty, then exit. taskwait() ran before shutdown in
+        // the runtime, so this terminates immediately in practice.
+        if (items_.load(std::memory_order_seq_cst) == 0) return nullptr;
+      }
+      std::this_thread::yield();
+    }
+    if (shutdown_.load(std::memory_order_acquire)) continue;  // drain, never park
+
+    // Park. Register as a sleeper first (seq_cst, pairing with note_push),
+    // then re-check for work under the predicate: a push that raced our
+    // registration is seen either here or by its sleeper check.
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lock(park_mutex_);
+      park_cv_.wait(lock, [&] {
+        return shutdown_.load(std::memory_order_acquire) ||
+               items_.load(std::memory_order_seq_cst) > 0;
+      });
+    }
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void StealScheduler::shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(park_mutex_);
+  park_cv_.notify_all();
+}
+
+void StealScheduler::reset() { shutdown_.store(false, std::memory_order_release); }
+
+}  // namespace atm::rt

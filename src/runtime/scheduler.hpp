@@ -1,0 +1,165 @@
+// Ready-task scheduling policies behind one seam (the paper's RQ box in
+// Figure 1). Two implementations:
+//
+//  * CentralScheduler — the paper's literal design: one mutex+condvar FIFO
+//    (ReadyQueue). Every push and pop crosses the same lock; kept as the
+//    A/B baseline (`--sched central`).
+//  * StealScheduler — per-worker Chase-Lev deques (LIFO local push/pop,
+//    FIFO steals) + per-worker inboxes for external submissions (the master
+//    round-robins across them), with a spin-then-steal-then-park idle
+//    protocol. This is the default: it removes the central lock from the
+//    task hot path.
+//
+// Depth tracking and trace sampling work identically under both policies so
+// Figures 7-8 reproduce regardless of `--sched`.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/ready_queue.hpp"
+#include "runtime/task.hpp"
+#include "runtime/trace.hpp"
+#include "runtime/work_steal_deque.hpp"
+
+namespace atm::rt {
+
+/// Which ready-task scheduler a runtime uses.
+enum class SchedPolicy : std::uint8_t {
+  Central,  ///< one shared FIFO behind a mutex (the paper's RQ)
+  Steal,    ///< per-worker Chase-Lev deques with work stealing
+};
+
+[[nodiscard]] constexpr const char* sched_policy_name(SchedPolicy s) noexcept {
+  switch (s) {
+    case SchedPolicy::Central: return "central";
+    case SchedPolicy::Steal: return "steal";
+  }
+  return "?";
+}
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Enqueue a ready task. `lane` is the calling thread's lane id: a worker
+  /// lane (< worker count) pushes into its own local structure; any other
+  /// lane (the master, test threads) submits externally.
+  virtual void push(Task* task, std::size_t lane) = 0;
+
+  /// Worker `worker` blocks until a task is available or shutdown() was
+  /// called and no task could be acquired; nullptr means "exit".
+  virtual Task* pop_blocking(unsigned worker) = 0;
+
+  /// Non-blocking acquire for worker `worker`; nullptr when nothing was
+  /// found (possibly transiently, under steal races).
+  virtual Task* try_pop(unsigned worker) = 0;
+
+  /// Release all blocked workers; subsequent pops drain remaining tasks and
+  /// then return nullptr.
+  virtual void shutdown() = 0;
+
+  /// Re-arm after shutdown (used by tests that restart a pool).
+  virtual void reset() = 0;
+
+  /// Tasks currently queued across all structures (racy; monitoring only).
+  [[nodiscard]] virtual std::size_t depth() const noexcept = 0;
+
+  /// Factory for a policy. `workers` is the worker-thread count; `tracer`
+  /// (nullable) receives ready-depth samples when tracing is enabled.
+  [[nodiscard]] static std::unique_ptr<Scheduler> make(SchedPolicy policy,
+                                                       unsigned workers,
+                                                       TraceRecorder* tracer);
+};
+
+/// The paper's central RQ wrapped in the Scheduler seam.
+class CentralScheduler final : public Scheduler {
+ public:
+  explicit CentralScheduler(TraceRecorder* tracer) : queue_(tracer) {}
+
+  void push(Task* task, std::size_t lane) override {
+    (void)lane;
+    queue_.push(task);
+  }
+  Task* pop_blocking(unsigned worker) override {
+    (void)worker;
+    return queue_.pop_blocking();
+  }
+  Task* try_pop(unsigned worker) override {
+    (void)worker;
+    return queue_.try_pop();
+  }
+  void shutdown() override { queue_.shutdown(); }
+  void reset() override { queue_.reset(); }
+  [[nodiscard]] std::size_t depth() const noexcept override { return queue_.depth(); }
+
+ private:
+  ReadyQueue queue_;
+};
+
+/// Work-stealing scheduler: per-worker Chase-Lev deque + external inbox.
+///
+/// Acquire order for worker w (try_pop):
+///   1. own deque (LIFO — hottest task first),
+///   2. own inbox, drained wholesale into the deque under one lock (so a
+///      burst of master submissions costs one lock, not one per task),
+///   3. steal: sweep the other workers, first their deque tops (FIFO), then
+///      their inboxes (a victim stuck in a long task must not strand its
+///      inbox).
+///
+/// Idle protocol (pop_blocking): spin a bounded number of acquire rounds
+/// (yielding, so oversubscribed containers do not burn the core), then park
+/// on the lot. Pushers bump the item count first and only take the lot lock
+/// when a sleeper is registered; the seq_cst item/sleeper pair makes the
+/// sleep/wake race lose-proof (one side always sees the other).
+class StealScheduler final : public Scheduler {
+ public:
+  StealScheduler(unsigned workers, TraceRecorder* tracer);
+  ~StealScheduler() override = default;
+
+  void push(Task* task, std::size_t lane) override;
+  Task* pop_blocking(unsigned worker) override;
+  Task* try_pop(unsigned worker) override;
+  void shutdown() override;
+  void reset() override;
+  [[nodiscard]] std::size_t depth() const noexcept override {
+    return items_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) WorkerSlot {
+    WorkStealDeque deque;
+    std::mutex inbox_mutex;
+    std::deque<Task*> inbox;
+    /// Mirrors inbox.size() (updated under inbox_mutex) so thieves can skip
+    /// empty inboxes without touching the deque object unlocked.
+    std::atomic<std::uint32_t> inbox_size{0};
+    std::uint32_t victim_cursor = 0;  ///< worker-local steal start point
+  };
+
+  void note_push();
+  Task* acquired(Task* task);
+  [[nodiscard]] Task* acquire_local(unsigned worker);
+  [[nodiscard]] Task* acquire_steal(unsigned worker);
+
+  const unsigned workers_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+
+  /// Tasks across all deques + inboxes; also the Figure-8 depth signal.
+  std::atomic<std::size_t> items_{0};
+  std::atomic<std::uint32_t> rr_{0};  ///< round-robin cursor for external pushes
+  std::atomic<bool> shutdown_{false};
+
+  std::atomic<int> sleepers_{0};
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+
+  TraceRecorder* tracer_;
+};
+
+}  // namespace atm::rt

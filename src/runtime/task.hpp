@@ -24,6 +24,31 @@ enum class TaskState : std::uint8_t {
   Finished,  ///< complete; successors released
 };
 
+/// Atomic TaskState holder that keeps Task copyable/movable (tests and
+/// benches build tasks by value). The dependence-ordering guarantees come
+/// from the runtime's graph mutex; the atomic makes the informational
+/// Running/Deferred stores — written by workers without that lock — defined
+/// behavior against concurrent state reads.
+class TaskStateCell {
+ public:
+  constexpr TaskStateCell() noexcept = default;
+  TaskStateCell(TaskState s) noexcept : v_(s) {}
+  TaskStateCell(const TaskStateCell& other) noexcept
+      : v_(other.v_.load(std::memory_order_relaxed)) {}
+  TaskStateCell& operator=(const TaskStateCell& other) noexcept {
+    v_.store(other.v_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+  TaskStateCell& operator=(TaskState s) noexcept {
+    v_.store(s, std::memory_order_relaxed);
+    return *this;
+  }
+  operator TaskState() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<TaskState> v_{TaskState::Created};
+};
+
 struct Task {
   TaskId id = 0;
   const TaskType* type = nullptr;
@@ -33,7 +58,7 @@ struct Task {
   // --- dependence graph state (guarded by the Runtime graph mutex) ---
   std::vector<Task*> successors;
   std::uint32_t pending_preds = 0;
-  TaskState state = TaskState::Created;
+  TaskStateCell state;
 
   // --- ATM state (owned by the engine while the task is in flight) ---
   HashKey atm_key = 0;       ///< hash key over the sampled input bytes

@@ -1,0 +1,188 @@
+// Chase-Lev work-stealing deque (Chase & Lev, SPAA'05) with the C11
+// memory-order discipline of Lê et al., "Correct and Efficient Work-Stealing
+// for Weak Memory Models" (PPoPP'13).
+//
+// One owner thread pushes and pops at the bottom (LIFO — the task it just
+// made ready is the hottest in cache); any number of thief threads steal from
+// the top (FIFO — thieves take the oldest task, which tends to root the
+// largest untouched subtree). All three operations are lock-free; only the
+// pop/steal race on the last element goes through a CAS.
+//
+// The circular buffer grows geometrically and never shrinks. Retired buffers
+// are kept alive until the deque is destroyed: a thief may still be reading a
+// stale buffer pointer, and parking the garbage is far cheaper than hazard
+// pointers for the handful of growths a run performs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+// ThreadSanitizer does not model standalone atomic_thread_fence precisely,
+// which makes the canonical fence-based Chase-Lev protocol report false
+// races. Under TSan every operation is promoted to seq_cst (correct, merely
+// slower) so the stress suite runs clean; production builds keep the precise
+// weak orders.
+#if defined(__SANITIZE_THREAD__)
+#define ATM_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ATM_TSAN_BUILD 1
+#endif
+#endif
+
+namespace atm::rt {
+
+class Task;
+
+namespace detail {
+constexpr std::memory_order relax_unless_tsan(std::memory_order order) noexcept {
+#ifdef ATM_TSAN_BUILD
+  (void)order;
+  return std::memory_order_seq_cst;
+#else
+  return order;
+#endif
+}
+
+/// Standalone fences are both unsupported by TSan (GCC -Wtsan) and redundant
+/// under the seq_cst promotion above, so they compile away in TSan builds.
+inline void deque_fence(std::memory_order order) noexcept {
+#ifdef ATM_TSAN_BUILD
+  (void)order;
+#else
+  std::atomic_thread_fence(order);
+#endif
+}
+}  // namespace detail
+
+class WorkStealDeque {
+ public:
+  explicit WorkStealDeque(std::size_t initial_capacity = 256)
+      : buffer_(new Buffer(round_up_pow2(initial_capacity))) {}
+
+  ~WorkStealDeque() {
+    delete buffer_.load(detail::relax_unless_tsan(std::memory_order_relaxed));
+  }
+
+  WorkStealDeque(const WorkStealDeque&) = delete;
+  WorkStealDeque& operator=(const WorkStealDeque&) = delete;
+
+  /// Owner only: push one task at the bottom.
+  void push(Task* task) {
+    const std::int64_t b = bottom_.load(detail::relax_unless_tsan(std::memory_order_relaxed));
+    const std::int64_t t = top_.load(detail::relax_unless_tsan(std::memory_order_acquire));
+    Buffer* buf = buffer_.load(detail::relax_unless_tsan(std::memory_order_relaxed));
+    if (b - t >= static_cast<std::int64_t>(buf->capacity)) {
+      buf = grow(buf, t, b);
+    }
+    buf->slot(b).store(task, detail::relax_unless_tsan(std::memory_order_relaxed));
+    // Publish the slot before the new bottom becomes visible to thieves.
+    detail::deque_fence(std::memory_order_release);
+    bottom_.store(b + 1, detail::relax_unless_tsan(std::memory_order_relaxed));
+  }
+
+  /// Owner only: pop the most recently pushed task; nullptr when empty.
+  Task* pop() {
+    const std::int64_t b = bottom_.load(detail::relax_unless_tsan(std::memory_order_relaxed)) - 1;
+    Buffer* buf = buffer_.load(detail::relax_unless_tsan(std::memory_order_relaxed));
+    bottom_.store(b, detail::relax_unless_tsan(std::memory_order_relaxed));
+    // The bottom store must be ordered before the top load (store-load),
+    // mirroring the fence in steal(): either the owner sees the thief's
+    // incremented top, or the thief sees the reserved bottom.
+    detail::deque_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(detail::relax_unless_tsan(std::memory_order_relaxed));
+    if (t > b) {
+      // Deque was empty; undo the reservation.
+      bottom_.store(b + 1, detail::relax_unless_tsan(std::memory_order_relaxed));
+      return nullptr;
+    }
+    Task* task = buf->slot(b).load(detail::relax_unless_tsan(std::memory_order_relaxed));
+    if (t != b) return task;  // more than one element: no race possible
+    // Single element: race the thieves for it via top.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      detail::relax_unless_tsan(std::memory_order_relaxed))) {
+      task = nullptr;  // a thief won
+    }
+    bottom_.store(b + 1, detail::relax_unless_tsan(std::memory_order_relaxed));
+    return task;
+  }
+
+  /// Thieves: steal the oldest task; nullptr when empty or lost a race.
+  Task* steal() {
+    std::int64_t t = top_.load(detail::relax_unless_tsan(std::memory_order_acquire));
+    // Order the top load before the bottom load (see pop()).
+    detail::deque_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(detail::relax_unless_tsan(std::memory_order_acquire));
+    if (t >= b) return nullptr;
+    Buffer* buf = buffer_.load(detail::relax_unless_tsan(std::memory_order_acquire));
+    Task* task = buf->slot(t).load(detail::relax_unless_tsan(std::memory_order_relaxed));
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      detail::relax_unless_tsan(std::memory_order_relaxed))) {
+      return nullptr;  // another thief or the owner won; caller retries
+    }
+    return task;
+  }
+
+  /// Racy size estimate (monitoring/backoff only, never for correctness).
+  [[nodiscard]] std::size_t size_estimate() const noexcept {
+    const std::int64_t b = bottom_.load(detail::relax_unless_tsan(std::memory_order_relaxed));
+    const std::int64_t t = top_.load(detail::relax_unless_tsan(std::memory_order_relaxed));
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  [[nodiscard]] bool empty_estimate() const noexcept { return size_estimate() == 0; }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return buffer_.load(detail::relax_unless_tsan(std::memory_order_relaxed))->capacity;
+  }
+
+  /// Resident bytes (buffer + retired garbage), for memory accounting.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    std::size_t n = capacity() * sizeof(std::atomic<Task*>);
+    for (const auto& r : retired_) n += r->capacity * sizeof(std::atomic<Task*>);
+    return n;
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : capacity(cap), mask(cap - 1),
+          slots(std::make_unique<std::atomic<Task*>[]>(cap)) {}
+    [[nodiscard]] std::atomic<Task*>& slot(std::int64_t i) noexcept {
+      return slots[static_cast<std::size_t>(i) & mask];
+    }
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<Task*>[]> slots;
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 8;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  /// Owner only (called from push): double the buffer, copy live slots.
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->slot(i).store(old->slot(i).load(detail::relax_unless_tsan(std::memory_order_relaxed)),
+                            detail::relax_unless_tsan(std::memory_order_relaxed));
+    }
+    buffer_.store(bigger, detail::relax_unless_tsan(std::memory_order_release));
+    retired_.emplace_back(old);  // thieves may still hold the old pointer
+    return bigger;
+  }
+
+  // top_ and bottom_ on separate cache lines: thieves hammer top_, the owner
+  // hammers bottom_.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_;
+  std::vector<std::unique_ptr<Buffer>> retired_;  // owner-only, freed with the deque
+};
+
+}  // namespace atm::rt

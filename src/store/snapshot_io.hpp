@@ -30,7 +30,10 @@
 namespace atm::store {
 
 inline constexpr char kMagic[8] = {'A', 'T', 'M', 'S', 'T', 'O', 'R', '\0'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: hash keys for p < 1 switched from shuffled-order to gather-plan
+/// (layout-order) digests — v1 snapshots would load cleanly but never hit,
+/// so they are rejected instead (a cold start, reported to the user).
+inline constexpr std::uint32_t kFormatVersion = 2;
 inline constexpr std::uint64_t kChecksumSeed = 0xa7151e57ULL;
 
 /// Per-task-type training-controller state worth persisting: the trained p

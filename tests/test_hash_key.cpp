@@ -123,6 +123,90 @@ TEST(HashKey, GatherPathDeterministic) {
   EXPECT_EQ(k1.bytes_hashed, k2.bytes_hashed);
 }
 
+// --- Planned gather (the engine hot path) -----------------------------------
+
+TEST(HashKeyPlanned, MatchesFullStreamDigestAtP1) {
+  // At p >= 1 the plan is one run per region in declaration order, so the
+  // planned digest must equal the order-based full-input fast path's.
+  std::vector<float> x(64, 3.0f), y(32, -1.0f);
+  rt::Task t;
+  t.accesses.push_back(rt::in(x.data(), x.size()));
+  t.accesses.push_back(rt::in(y.data(), y.size()));
+  InputSampler sampler(true, 1);
+  const auto layout = InputLayout::from_task(t);
+  const auto& order = sampler.order_for(0, layout);
+  const GatherPlan& plan = sampler.plan_for(0, layout, 1.0);
+  const auto via_order = compute_key(t, order, 1.0, 9);
+  const auto via_plan = compute_key(t, plan, 9);
+  EXPECT_EQ(via_order.key, via_plan.key);
+  EXPECT_EQ(via_order.bytes_hashed, via_plan.bytes_hashed);
+}
+
+TEST(HashKeyPlanned, SameSelectionSemanticsAsGather) {
+  // The planned key must agree/disagree exactly where the gathered key
+  // does: identical inputs agree; mantissa-tail noise is invisible at
+  // p = 25% type-aware; an MSB flip is visible at p = 1/8.
+  std::vector<double> a(47);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = 0.05 + 0.001 * static_cast<double>(i);
+  auto tail = a;
+  for (auto& v : tail) v *= 1.0 + 1e-12;
+  auto msb = a;
+  msb[11] = -msb[11];
+
+  const auto ta = make_task(a.data(), a.size(), nullptr, 0);
+  const auto tb = make_task(tail.data(), tail.size(), nullptr, 0);
+  const auto tc = make_task(msb.data(), msb.size(), nullptr, 0);
+  InputSampler sampler(true, 1);
+  const auto layout = InputLayout::from_task(ta);
+  const GatherPlan& quarter = sampler.plan_for(0, layout, 0.25);
+  const GatherPlan& eighth = sampler.plan_for(0, layout, 0.125);
+
+  EXPECT_EQ(compute_key(ta, quarter, 9).key, compute_key(ta, quarter, 9).key);
+  EXPECT_EQ(compute_key(ta, quarter, 9).key, compute_key(tb, quarter, 9).key);
+  EXPECT_NE(compute_key(ta, eighth, 9).key, compute_key(tc, eighth, 9).key);
+}
+
+TEST(HashKeyPlanned, BytesHashedMatchesPlan) {
+  std::vector<double> a(64, 1.0);
+  const auto t = make_task(a.data(), a.size(), nullptr, 0);
+  InputSampler sampler(false, 1);
+  const auto layout = InputLayout::from_task(t);
+  EXPECT_EQ(compute_key(t, sampler.plan_for(0, layout, 0.5), 9).bytes_hashed, 256u);
+  EXPECT_EQ(compute_key(t, sampler.plan_for(0, layout, 1.0 / 32768), 9).bytes_hashed,
+            1u);
+}
+
+TEST(HashKeyPlanned, StagingBoundariesDoNotChangeDigest) {
+  // > 4 KiB of selected stride bytes forces multiple staging flushes; the
+  // digest must be chunking-invariant (HashStream property), so a big and
+  // a small selection of the same first bytes relate consistently across
+  // two identical tasks.
+  std::vector<double> a(8192);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<double>(i) * 0.25;
+  auto b = a;
+  const auto ta = make_task(a.data(), a.size(), nullptr, 0);
+  const auto tb = make_task(b.data(), b.size(), nullptr, 0);
+  InputSampler sampler(true, 2);
+  const auto layout = InputLayout::from_task(ta);
+  const GatherPlan& plan = sampler.plan_for(0, layout, 0.125);  // 8192 bytes
+  EXPECT_GT(plan.bytes, 4096u);
+  EXPECT_EQ(compute_key(ta, plan, 3).key, compute_key(tb, plan, 3).key);
+}
+
+#ifndef NDEBUG
+TEST(HashKeyDeathTest, OutOfRangeOrderIndexAssertsInDebug) {
+  // An order built for a different (larger) layout must trip the Debug
+  // assert instead of quietly hashing fabricated zero bytes (key aliasing).
+  std::vector<double> a(4, 1.0);
+  const auto t = make_task(a.data(), a.size(), nullptr, 0);
+  std::vector<std::uint32_t> bogus_order(64);
+  for (std::size_t i = 0; i < bogus_order.size(); ++i) {
+    bogus_order[i] = static_cast<std::uint32_t>(64 + i);  // all out of range
+  }
+  EXPECT_DEATH((void)compute_key(t, bogus_order, 0.5, 9), "out of range");
+}
+#endif
+
 class HashKeyPSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(HashKeyPSweep, EveryPStepDistinguishesMsbNoise) {

@@ -164,5 +164,99 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<std::size_t>(1, 3, 8, 17, 256, 4096),
                        ::testing::Values(0, 1, 2, 3), ::testing::Bool()));
 
+// --- Gather plans -----------------------------------------------------------
+
+/// Expand a plan back into global byte indexes for comparison with the
+/// order prefix it was built from.
+std::vector<std::uint32_t> plan_indexes(const InputLayout& layout,
+                                        const GatherPlan& plan) {
+  std::vector<std::size_t> region_begin;
+  std::size_t off = 0;
+  for (const auto& r : layout.regions) {
+    region_begin.push_back(off);
+    off += r.bytes;
+  }
+  std::vector<std::uint32_t> idx;
+  for (const auto& run : plan.runs) {
+    for (std::uint32_t k = 0; k < run.length; ++k) {
+      idx.push_back(
+          static_cast<std::uint32_t>(region_begin[run.region] + run.offset + k));
+    }
+  }
+  return idx;
+}
+
+TEST(GatherPlan, CoversExactlyTheSelectedPrefixSorted) {
+  const auto layout = layout_of({{96, ElemType::F32}, {64, ElemType::F64}});
+  InputSampler sampler(true, 5);
+  const auto& order = sampler.order_for(0, layout);
+  for (double p : {1.0 / 32768, 0.05, 0.25, 0.5, 1.0}) {
+    const GatherPlan plan = build_gather_plan(layout, order, p);
+    const std::size_t count = selection_count(layout.total_bytes(), p);
+    EXPECT_EQ(plan.bytes, count) << p;
+
+    std::vector<std::uint32_t> expected(order.begin(),
+                                        order.begin() + static_cast<long>(count));
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(plan_indexes(layout, plan), expected) << p;
+  }
+}
+
+TEST(GatherPlan, RunsAreCoalescedAndSorted) {
+  // A contiguous selection must collapse to one run per region.
+  const auto layout = layout_of({{32, ElemType::U8}, {16, ElemType::U8}});
+  std::vector<std::uint32_t> order(48);
+  std::iota(order.begin(), order.end(), 0);
+  const GatherPlan plan = build_gather_plan(layout, order, 1.0);
+  ASSERT_EQ(plan.runs.size(), 2u);
+  EXPECT_EQ(plan.runs[0].region, 0u);
+  EXPECT_EQ(plan.runs[0].offset, 0u);
+  EXPECT_EQ(plan.runs[0].length, 32u);
+  EXPECT_EQ(plan.runs[1].region, 1u);
+  EXPECT_EQ(plan.runs[1].offset, 0u);
+  EXPECT_EQ(plan.runs[1].length, 16u);
+}
+
+TEST(GatherPlan, RunsNeverCrossRegionBoundaries) {
+  const auto layout = layout_of({{8, ElemType::U8}, {8, ElemType::U8}});
+  // Selection straddles the boundary: indexes 6,7 (region 0) and 8,9 (1).
+  std::vector<std::uint32_t> order{6, 8, 7, 9, 0, 1, 2, 3, 4, 5, 10, 11, 12, 13, 14, 15};
+  const GatherPlan plan = build_gather_plan(layout, order, 0.25);
+  ASSERT_EQ(plan.runs.size(), 2u);
+  EXPECT_EQ(plan.runs[0].region, 0u);
+  EXPECT_EQ(plan.runs[0].offset, 6u);
+  EXPECT_EQ(plan.runs[0].length, 2u);
+  EXPECT_EQ(plan.runs[1].region, 1u);
+  EXPECT_EQ(plan.runs[1].offset, 0u);
+  EXPECT_EQ(plan.runs[1].length, 2u);
+}
+
+TEST(InputSampler, PlanCacheReturnsSameInstance) {
+  InputSampler sampler(true, 6);
+  const auto layout = layout_of({{256, ElemType::F32}});
+  const GatherPlan& a = sampler.plan_for(3, layout, 0.25);
+  const GatherPlan& b = sampler.plan_for(3, layout, 0.25);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(sampler.plan_entries(), 1u);
+  // Different p, type, or layout each get their own plan.
+  sampler.plan_for(3, layout, 0.5);
+  sampler.plan_for(4, layout, 0.25);
+  sampler.plan_for(3, layout_of({{128, ElemType::F32}}), 0.25);
+  EXPECT_EQ(sampler.plan_entries(), 4u);
+  // All p >= 1 values collapse onto the same full-selection plan.
+  const GatherPlan& full1 = sampler.plan_for(3, layout, 1.0);
+  const GatherPlan& full2 = sampler.plan_for(3, layout, 2.0);
+  EXPECT_EQ(&full1, &full2);
+  EXPECT_EQ(sampler.plan_entries(), 5u);
+}
+
+TEST(InputSampler, PlanMemoryIsAccounted) {
+  InputSampler sampler(true, 7);
+  const auto layout = layout_of({{4096, ElemType::F32}});
+  const std::size_t before = sampler.memory_bytes();
+  sampler.plan_for(0, layout, 0.25);
+  EXPECT_GT(sampler.memory_bytes(), before);
+}
+
 }  // namespace
 }  // namespace atm

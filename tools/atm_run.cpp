@@ -7,6 +7,7 @@
 //   --mode=M               off | static | dynamic | fixed  (default: static)
 //   --p=F                  fixed-p value for --mode=fixed   (default: 1.0)
 //   --threads=N            worker threads                   (default: 2)
+//   --sched=S              steal | central ready-task scheduler (default: steal)
 //   --preset=P             test | bench | paper             (default: bench)
 //   --no-ikt               disable the In-flight Key Table
 //   --no-type-aware        uniform byte shuffling (§III-C off)
@@ -59,7 +60,8 @@ bool parse_flag(const char* arg, const char* name, const char** value) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [app] [--mode=off|static|dynamic|fixed] [--p=F]\n"
-               "          [--threads=N] [--preset=test|bench|paper] [--no-ikt]\n"
+               "          [--threads=N] [--sched=steal|central]\n"
+               "          [--preset=test|bench|paper] [--no-ikt]\n"
                "          [--no-type-aware] [--verify-full-inputs] [--lru]\n"
                "          [--n=K] [--m=K] [--l2] [--l2-budget-mb=K] [--l2-shards=K]\n"
                "          [--l2-compress] [--save-store=PATH] [--load-store=PATH]\n"
@@ -85,6 +87,11 @@ bool parse(int argc, char** argv, Options* opts) {
       opts->config.fixed_p = std::strtod(value, nullptr);
     } else if (parse_flag(arg, "--threads", &value)) {
       opts->config.threads = static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+    } else if (parse_flag(arg, "--sched", &value)) {
+      const std::string s = value;
+      if (s == "steal") opts->config.sched = rt::SchedPolicy::Steal;
+      else if (s == "central") opts->config.sched = rt::SchedPolicy::Central;
+      else return false;
     } else if (parse_flag(arg, "--preset", &value)) {
       const std::string p = value;
       if (p == "test") opts->preset = Preset::Test;

@@ -1,12 +1,15 @@
 #!/usr/bin/env sh
 # Run the ATM bench harnesses in sequence.
 #
-#   tools/run_benches.sh [build-dir] [preset]
+#   tools/run_benches.sh [build-dir] [preset] [json-out]
 #
 #   preset: full (default)  every harness at its native scale
 #           quick           non-timing smoke: ATM_SCALE=test, ATM_REPS=1,
 #                           and only the fast inspection/correctness set —
 #                           validates that the harnesses run, not timings
+#           json            machine-readable results: runs pr3_hotpath and
+#                           writes BENCH_pr3.json (or [json-out]) — bench
+#                           name -> ns/op plus derived speedups and reuse %
 #
 # Benches run argument-less; scale comes from the environment:
 #   ATM_SCALE    problem-size preset multiplier   (default: harness-defined;
@@ -30,7 +33,7 @@ case "$PRESET" in
     BENCHES="table1_workloads table2_params table3_memory table4_tiered_store \
              fig3_speedup fig4_correctness fig5_p_sensitivity fig6_scalability \
              fig7_trace_gs fig8_trace_blackscholes fig9_reuse_cdf \
-             ablation_sizing micro_atm"
+             ablation_sizing pr3_hotpath micro_atm"
     ;;
   quick)
     # The timing-heavy sweeps (fig5/fig6/ablation run 16+ full configs) are
@@ -41,8 +44,19 @@ case "$PRESET" in
     ATM_REPS="${ATM_REPS:-1}"
     export ATM_SCALE ATM_REPS
     ;;
+  json)
+    OUT="${3:-BENCH_pr3.json}"
+    bin="$BUILD_DIR/pr3_hotpath"
+    if [ ! -x "$bin" ]; then
+      echo "error: $bin not built (cmake --build $BUILD_DIR --target bench)" >&2
+      exit 1
+    fi
+    "$bin" --out="$OUT"
+    echo "wrote $OUT"
+    exit 0
+    ;;
   *)
-    echo "error: unknown preset '$PRESET' (full | quick)" >&2
+    echo "error: unknown preset '$PRESET' (full | quick | json)" >&2
     exit 2
     ;;
 esac
