@@ -1,0 +1,201 @@
+// PR 4 hot-path benchmark: machine-readable numbers for the task-arena +
+// eager-retirement lifecycle and the sharded submit path. Emits JSON
+// (bench name -> ns/op plus derived ratios), consumed by
+// `tools/run_benches.sh <build> json`, which writes BENCH_pr4.json.
+//
+//   pr4_hotpath [--out=PATH]     (default: JSON to stdout)
+//
+// Sections:
+//   sched_storm_{central,steal}_tN   fine-grained task storm through the
+//                                    full runtime, ns per task — same
+//                                    harness and names as BENCH_pr3.json,
+//                                    so the two files A/B directly
+//   stream_submit_steal_tN           barrier-free 200k-task stream (the
+//                                    eager-retirement path), ns per task
+//   stream_peak_arena_slots          records resident at the stream's peak
+//                                    (gauge; bounded == retirement works)
+//   tht_lookup_hit_t{1,4}            THT lookup_and_copy under the per-
+//                                    bucket SharedSpinMutex, ns per hit
+//   reuse_percent_blackscholes_static  sanity: memoization still reuses
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "atm/tht.hpp"
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace {
+
+using namespace atm;
+using namespace atm::bench;
+
+struct Entry {
+  std::string name;
+  double value = 0.0;
+  const char* unit = "ns_per_op";
+};
+
+double storm_ns_per_task(rt::SchedPolicy sched, unsigned threads, int reps) {
+  const std::size_t tasks = 20'000;
+  const int waves = 5;
+  const double rate = sched_storm_median(sched, threads, tasks, waves, reps);
+  return 1e9 / rate;
+}
+
+/// Barrier-free stream: one taskwait at the very end. Measures the eager-
+/// retirement submit path and samples the arena's peak occupancy.
+double stream_ns_per_task(unsigned threads, int reps, std::size_t* peak_slots) {
+  const std::size_t tasks = 200'000;
+  const std::size_t kCells = 1024;
+  std::vector<double> rates;
+  *peak_slots = 0;
+  for (int r = 0; r < reps; ++r) {
+    rt::Runtime runtime({.num_threads = threads, .sched = rt::SchedPolicy::Steal});
+    const auto* type =
+        runtime.register_type({.name = "fine", .memoizable = false, .atm = {}});
+    std::vector<float> cells(kCells, 1.0f);
+    Timer timer;
+    for (std::size_t i = 0; i < tasks; ++i) {
+      float* cell = &cells[i % kCells];
+      runtime.submit(type, [cell] { *cell += 1.0f; }, {rt::inout(cell, 1)});
+      if ((i & 0x3fff) == 0) {
+        *peak_slots = std::max(*peak_slots, runtime.arena_stats().slots);
+      }
+    }
+    runtime.taskwait();
+    const double secs = timer.elapsed_s();
+    *peak_slots = std::max(*peak_slots, runtime.arena_stats().slots);
+    rates.push_back(static_cast<double>(tasks) / secs);
+  }
+  std::sort(rates.begin(), rates.end());
+  return 1e9 / rates[rates.size() / 2];
+}
+
+/// THT steady-state hit path: lookup_and_copy on a prefilled table, with
+/// `threads` concurrent readers hammering disjoint key streams.
+double tht_lookup_hit_ns(unsigned threads) {
+  constexpr std::size_t kEntries = 1024;
+  constexpr std::size_t kFloats = 64;  // 256-byte snapshots
+  TaskHistoryTable tht(/*log2_buckets=*/8, /*bucket_capacity=*/16);
+  std::vector<float> producer_out(kFloats, 1.5f);
+  rt::Task producer;
+  producer.id = 1;
+  producer.accesses.push_back(rt::out(producer_out.data(), producer_out.size()));
+  for (std::size_t k = 0; k < kEntries; ++k) {
+    tht.insert(/*type_id=*/0, /*key=*/splitmix64(k), /*p=*/0.25, producer);
+  }
+
+  constexpr int kOpsPerThread = 200'000;
+  std::vector<std::thread> readers;
+  Timer timer;
+  for (unsigned t = 0; t < threads; ++t) {
+    readers.emplace_back([&, t] {
+      std::vector<float> sink(kFloats, 0.0f);
+      rt::Task consumer;
+      consumer.accesses.push_back(rt::out(sink.data(), sink.size()));
+      std::uint64_t hits = 0;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const HashKey key = splitmix64((t * 7919 + i) % kEntries);
+        rt::TaskId creator = 0;
+        std::uint64_t c0 = 0, c1 = 0;
+        hits += tht.lookup_and_copy(0, key, 0.25, consumer, &creator, &c0, &c1);
+      }
+      if (hits != kOpsPerThread) {
+        std::fprintf(stderr, "pr4_hotpath: THT lookup missed (%llu/%d)\n",
+                     static_cast<unsigned long long>(hits), kOpsPerThread);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  const double secs = timer.elapsed_s();
+  return secs * 1e9 / (static_cast<double>(kOpsPerThread) * threads);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const int reps = default_reps();
+  std::vector<Entry> entries;
+
+  // --- Scheduler: fine-grained storm (names match BENCH_pr3.json) ----------
+  const double central_hw = storm_ns_per_task(rt::SchedPolicy::Central, hw, reps);
+  const double steal_hw = storm_ns_per_task(rt::SchedPolicy::Steal, hw, reps);
+  entries.push_back({"sched_storm_central_t" + std::to_string(hw), central_hw});
+  entries.push_back({"sched_storm_steal_t" + std::to_string(hw), steal_hw});
+  const unsigned contended = std::max(4u, hw);
+  const double central_c = storm_ns_per_task(rt::SchedPolicy::Central, contended, reps);
+  const double steal_c = storm_ns_per_task(rt::SchedPolicy::Steal, contended, reps);
+  entries.push_back({"sched_storm_central_t" + std::to_string(contended), central_c});
+  entries.push_back({"sched_storm_steal_t" + std::to_string(contended), steal_c});
+
+  // --- Barrier-free stream (eager retirement) -------------------------------
+  std::size_t peak_slots = 0;
+  const double stream_ns = stream_ns_per_task(hw, reps, &peak_slots);
+  entries.push_back({"stream_submit_steal_t" + std::to_string(hw), stream_ns});
+  entries.push_back({"stream_peak_arena_slots", static_cast<double>(peak_slots),
+                     "slots"});
+
+  // --- THT lookup under the sharded bucket locks ----------------------------
+  entries.push_back({"tht_lookup_hit_t1", tht_lookup_hit_ns(1)});
+  entries.push_back({"tht_lookup_hit_t4", tht_lookup_hit_ns(4)});
+
+  // --- Reuse sanity: the lifecycle change must not break memoization --------
+  const auto app = apps::make_app("blackscholes", apps::Preset::Test);
+  RunConfig cfg{.threads = hw, .sched = rt::SchedPolicy::Steal,
+                .mode = AtmMode::Static};
+  const RunResult run = app->run(cfg);
+  entries.push_back(
+      {"reuse_percent_blackscholes_static", 100.0 * run.reuse_fraction(), "percent"});
+  entries.push_back({"key_gather_oob", static_cast<double>(run.atm.key_gather_oob),
+                     "count"});
+
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "pr4_hotpath: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"pr\": 4,\n");
+  std::fprintf(out, "  \"generated_by\": \"bench/pr4_hotpath\",\n");
+  std::fprintf(out, "  \"baseline\": \"BENCH_pr3.json (same bench names A/B)\",\n");
+  std::fprintf(out, "  \"hardware_threads\": %u,\n", hw);
+  std::fprintf(out, "  \"reps\": %d,\n", reps);
+  std::fprintf(out, "  \"benches\": {\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    std::fprintf(out, "    \"%s\": {\"%s\": %.1f}%s\n", entries[i].name.c_str(),
+                 entries[i].unit, entries[i].value,
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"derived\": {\n");
+  std::fprintf(out,
+               "    \"storm_steal_over_central_at_max_hw\": %.2f,\n"
+               "    \"storm_steal_over_central_contended_t%u\": %.2f,\n"
+               "    \"stream_over_storm_steal\": %.2f\n",
+               central_hw / steal_hw, contended, central_c / steal_c,
+               steal_hw / stream_ns);
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  if (out != stdout) std::fclose(out);
+
+  std::fprintf(stderr,
+               "pr4_hotpath: storm steal t%u = %.1f ns/task (central %.1f), "
+               "stream = %.1f ns/task (peak %zu slots), THT hit t1/t4 = "
+               "%.1f/%.1f ns, reuse = %.1f%%\n",
+               hw, steal_hw, central_hw, stream_ns, peak_slots,
+               entries[6].value, entries[7].value, 100.0 * run.reuse_fraction());
+  return 0;
+}

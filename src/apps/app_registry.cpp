@@ -17,6 +17,14 @@ double App::program_error(const RunResult& reference, const RunResult& result) c
   return euclidean_relative_error<double>(reference.output, result.output);
 }
 
+rt::RuntimeConfig runtime_config(const RunConfig& config) {
+  return {.num_threads = config.threads,
+          .enable_tracing = config.tracing,
+          .sched = config.sched,
+          .graph_log2_shards = config.graph_log2_shards,
+          .arena_block_tasks = config.arena_block_tasks};
+}
+
 std::unique_ptr<AtmEngine> make_engine(const RunConfig& config) {
   if (config.mode == AtmMode::Off) return nullptr;
   AtmConfig c;

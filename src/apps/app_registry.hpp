@@ -32,6 +32,11 @@ struct RunConfig {
   EvictionPolicy eviction = EvictionPolicy::Fifo;
   bool tracing = false;
   std::uint64_t shuffle_seed = 0x5eedULL;
+  /// Submit-path tuning (PR 4): dependence-tracker shard count (log2) and
+  /// task-arena slab size, plumbed into every app's Runtime via
+  /// runtime_config(). Defaults match RuntimeConfig.
+  unsigned graph_log2_shards = 4;
+  unsigned arena_block_tasks = 256;
 
   // --- tiered memo store (src/store/) ---
   bool l2_enabled = false;        ///< byte-budgeted capacity tier behind the THT
@@ -115,6 +120,10 @@ class App {
 
 /// Shared helper: build an engine for `config` (nullptr when mode == Off).
 [[nodiscard]] std::unique_ptr<AtmEngine> make_engine(const RunConfig& config);
+
+/// Shared helper: the RuntimeConfig every app runs under — one place to
+/// plumb threads/sched/tracing plus the PR-4 submit-path tuning knobs.
+[[nodiscard]] rt::RuntimeConfig runtime_config(const RunConfig& config);
 
 /// Shared helper: fill the generic parts of a RunResult from a finished
 /// runtime/engine pair (counters, ATM stats, memory, traces).

@@ -24,8 +24,7 @@ RunResult JacobiApp::run(const RunConfig& config) const {
   grid_b.initialize(params_.seed, params_.init_patterns, params_.wall_temp);
 
   auto engine = make_engine(config);
-  rt::Runtime runtime({.num_threads = config.threads, .enable_tracing = config.tracing,
-                       .sched = config.sched});
+  rt::Runtime runtime(runtime_config(config));
   if (engine != nullptr) runtime.attach_memoizer(engine.get());
 
   const auto* stencil_type = runtime.register_type(

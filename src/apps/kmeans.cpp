@@ -103,8 +103,7 @@ RunResult KmeansApp::run(const RunConfig& config) const {
   }
 
   auto engine = make_engine(config);
-  rt::Runtime runtime({.num_threads = config.threads, .enable_tracing = config.tracing,
-                       .sched = config.sched});
+  rt::Runtime runtime(runtime_config(config));
   if (engine != nullptr) runtime.attach_memoizer(engine.get());
 
   const auto* assign_type = runtime.register_type(

@@ -221,8 +221,7 @@ RunResult SparseLuApp::run(const RunConfig& config) const {
   const std::vector<double> original = to_dense(matrix);
 
   auto engine = make_engine(config);
-  rt::Runtime runtime({.num_threads = config.threads, .enable_tracing = config.tracing,
-                       .sched = config.sched});
+  rt::Runtime runtime(runtime_config(config));
   if (engine != nullptr) runtime.attach_memoizer(engine.get());
 
   const auto* lu0_type = runtime.register_type({.name = "lu0", .memoizable = false, .atm = {}});

@@ -23,6 +23,9 @@ struct AtmStatsSnapshot {
   std::uint64_t keys_computed = 0;
   std::uint64_t hash_ns = 0;           ///< total time computing hash keys
   std::uint64_t hash_bytes = 0;        ///< total bytes fed to the hash
+  /// Gather positions outside the task's inputs, clamped-and-counted by
+  /// compute_key (all build types). Nonzero = sampler/layout bug upstream.
+  std::uint64_t key_gather_oob = 0;
   std::uint64_t copy_out_ns = 0;       ///< THT->task and twin->task output copies
   std::uint64_t update_ns = 0;         ///< task->THT snapshot insertion time
 
@@ -57,6 +60,7 @@ class AtmStats {
   std::atomic<std::uint64_t> keys_computed{0};
   std::atomic<std::uint64_t> hash_ns{0};
   std::atomic<std::uint64_t> hash_bytes{0};
+  std::atomic<std::uint64_t> key_gather_oob{0};
   std::atomic<std::uint64_t> copy_out_ns{0};
   std::atomic<std::uint64_t> update_ns{0};
   std::atomic<std::uint64_t> l2_hits{0};
@@ -79,6 +83,7 @@ class AtmStats {
     s.keys_computed = keys_computed.load();
     s.hash_ns = hash_ns.load();
     s.hash_bytes = hash_bytes.load();
+    s.key_gather_oob = key_gather_oob.load();
     s.copy_out_ns = copy_out_ns.load();
     s.update_ns = update_ns.load();
     s.l2_hits = l2_hits.load();
@@ -101,6 +106,7 @@ class AtmStats {
     keys_computed = 0;
     hash_ns = 0;
     hash_bytes = 0;
+    key_gather_oob = 0;
     copy_out_ns = 0;
     update_ns = 0;
     l2_hits = 0;

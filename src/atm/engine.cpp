@@ -139,6 +139,9 @@ rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size
   stats_.keys_computed.fetch_add(1, std::memory_order_relaxed);
   stats_.hash_ns.fetch_add(h1 - h0, std::memory_order_relaxed);
   stats_.hash_bytes.fetch_add(key.bytes_hashed, std::memory_order_relaxed);
+  if (key.oob != 0) {
+    stats_.key_gather_oob.fetch_add(key.oob, std::memory_order_relaxed);
+  }
 
   task.atm_key = key.key;
   task.atm_p = p;

@@ -1,6 +1,6 @@
 #include "atm/hash_key.hpp"
 
-#include <cassert>
+#include <cstring>
 
 #include "atm/input_sampler.hpp"
 
@@ -22,21 +22,28 @@ struct ConcatView {
   explicit ConcatView(const rt::Task& task) {
     std::size_t off = 0;
     for (const auto& a : task.accesses) {
-      if (!a.is_input()) continue;
+      // Zero-length inputs contribute no bytes — and must not become
+      // pieces, so the clamp below can rely on pieces.back() being
+      // non-empty.
+      if (!a.is_input() || a.bytes == 0) continue;
       pieces.push_back({static_cast<const std::uint8_t*>(a.ptr), off, off + a.bytes});
       off += a.bytes;
     }
   }
 
-  [[nodiscard]] std::uint8_t at(std::size_t global) const noexcept {
+  /// Resolve `global`, clamping out-of-range indexes to the last input byte
+  /// and counting them in *oob: an index past the last region means the
+  /// caller's order was built for a different layout. Hashing the clamped
+  /// byte keeps the digest deterministic without reading out of bounds —
+  /// in every build type, not just when asserts are on.
+  [[nodiscard]] std::uint8_t at(std::size_t global, std::size_t* oob) const noexcept {
     for (const auto& p : pieces) {
       if (global < p.end) return p.data[global - p.begin];
     }
-    // An index past the last region means the caller's order/plan was built
-    // for a different layout — the key would silently alias another task's.
-    // Fail loudly in Debug instead of hashing fabricated zero bytes.
-    assert(false && "ConcatView::at: byte index out of range of the task's inputs");
-    return 0;
+    ++*oob;
+    if (pieces.empty()) return 0;
+    const Piece& last = pieces.back();
+    return last.data[last.end - last.begin - 1];
   }
 
   [[nodiscard]] std::size_t total() const noexcept {
@@ -68,15 +75,16 @@ KeyResult compute_key(const rt::Task& task, const std::vector<std::uint32_t>& or
   // observes hash-key computation is memory-bound, §V-C).
   std::uint8_t staging[512];
   std::size_t fill = 0;
+  std::size_t oob = 0;
   for (std::size_t i = 0; i < count; ++i) {
-    staging[fill++] = view.at(order[i]);
+    staging[fill++] = view.at(i < order.size() ? order[i] : view.total(), &oob);
     if (fill == sizeof staging) {
       stream.update(std::span<const std::uint8_t>(staging, fill));
       fill = 0;
     }
   }
   if (fill != 0) stream.update(std::span<const std::uint8_t>(staging, fill));
-  return {stream.finalize(), count};
+  return {stream.finalize(), count, oob};
 }
 
 KeyResult compute_key(const rt::Task& task, const GatherPlan& plan,
@@ -97,37 +105,52 @@ KeyResult compute_key(const rt::Task& task, const GatherPlan& plan,
   };
 
   std::size_t run_idx = 0;
+  std::size_t oob = 0;
+  std::size_t hashed = 0;
   std::uint32_t region = 0;
   for (const auto& a : task.accesses) {
     if (!a.is_input()) continue;
     const auto* base = static_cast<const std::uint8_t*>(a.ptr);
     while (run_idx < plan.runs.size() && plan.runs[run_idx].region == region) {
       const GatherPlan::Run& run = plan.runs[run_idx++];
-      assert(static_cast<std::size_t>(run.offset) + run.length <= a.bytes &&
-             "GatherPlan run exceeds its region: plan built for another layout");
-      if (run.length == 1) {
+      // A run reaching past its region means the plan was built for another
+      // layout: clamp to the region's real extent and count the shortfall
+      // (key_gather_oob) instead of hashing out-of-bounds bytes — in every
+      // build type, not just when asserts are on.
+      std::size_t offset = run.offset;
+      std::size_t length = run.length;
+      if (offset >= a.bytes) {
+        oob += length;
+        continue;
+      }
+      if (offset + length > a.bytes) {
+        oob += offset + length - a.bytes;
+        length = a.bytes - offset;
+      }
+      hashed += length;
+      if (length == 1) {
         // Dominant case under type-aware sampling: the selection is the MSB
         // of every element, stride elem_size apart — nothing coalesces.
         if (fill == sizeof staging) flush();
-        staging[fill++] = base[run.offset];
+        staging[fill++] = base[offset];
         continue;
       }
-      if (run.length >= sizeof staging / 4) {
+      if (length >= sizeof staging / 4) {
         // Long run (contiguous selection / p near 1): stream it directly.
         if (fill != 0) flush();
-        stream.update(std::span<const std::uint8_t>(base + run.offset, run.length));
+        stream.update(std::span<const std::uint8_t>(base + offset, length));
         continue;
       }
-      if (fill + run.length > sizeof staging) flush();
-      std::memcpy(staging + fill, base + run.offset, run.length);
-      fill += run.length;
+      if (fill + length > sizeof staging) flush();
+      std::memcpy(staging + fill, base + offset, length);
+      fill += length;
     }
     ++region;
   }
   if (fill != 0) flush();
-  assert(run_idx == plan.runs.size() &&
-         "GatherPlan names regions the task does not have");
-  return {stream.finalize(), plan.bytes};
+  // Leftover runs name regions the task does not have: count, don't touch.
+  for (; run_idx < plan.runs.size(); ++run_idx) oob += plan.runs[run_idx].length;
+  return {stream.finalize(), hashed, oob};
 }
 
 }  // namespace atm

@@ -16,6 +16,12 @@ struct GatherPlan;
 struct KeyResult {
   HashKey key = 0;
   std::size_t bytes_hashed = 0;
+  /// Gather indexes/run bytes that fell outside the task's actual input
+  /// bytes (an order or plan built for a different layout). Out-of-range
+  /// positions are clamped-and-counted in every build type — never hashed
+  /// as out-of-bounds reads. The engine surfaces the count as the
+  /// `key_gather_oob` stat; nonzero means a sampler-cache/layout bug.
+  std::size_t oob = 0;
 };
 
 /// Compute the hash key of `task` using percentage `p` of its input bytes,

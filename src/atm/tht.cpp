@@ -98,8 +98,8 @@ bool TaskHistoryTable::lookup_and_copy(std::uint32_t type_id, HashKey key, doubl
   // FIFO (paper): shared lock, parallel reads. LRU: the recency update
   // mutates the bucket, forcing an exclusive lock — one reason the paper's
   // FIFO + parallel-read design is the right default.
-  std::shared_lock<std::shared_mutex> shared_lock(b.mutex, std::defer_lock);
-  std::unique_lock<std::shared_mutex> unique_lock(b.mutex, std::defer_lock);
+  std::shared_lock<SharedSpinMutex> shared_lock(b.mutex, std::defer_lock);
+  std::unique_lock<SharedSpinMutex> unique_lock(b.mutex, std::defer_lock);
   if (eviction_ == EvictionPolicy::Lru) {
     unique_lock.lock();
   } else {
@@ -139,7 +139,7 @@ bool TaskHistoryTable::lookup_and_copy(std::uint32_t type_id, HashKey key, doubl
 bool TaskHistoryTable::lookup_snapshot(std::uint32_t type_id, HashKey key, double p,
                                        OutputSnapshot* out, rt::TaskId* creator) const {
   const Bucket& b = bucket_for(key);
-  std::shared_lock<std::shared_mutex> lock(b.mutex);
+  std::shared_lock<SharedSpinMutex> lock(b.mutex);
   for (const Entry& e : b.entries) {
     if (!entry_matches(e, type_id, key, p)) continue;
     if (out != nullptr) {
@@ -159,7 +159,7 @@ bool TaskHistoryTable::lookup_snapshot(std::uint32_t type_id, HashKey key, doubl
 
 bool TaskHistoryTable::contains(std::uint32_t type_id, HashKey key, double p) const {
   const Bucket& b = bucket_for(key);
-  std::shared_lock<std::shared_mutex> lock(b.mutex);
+  std::shared_lock<SharedSpinMutex> lock(b.mutex);
   for (const Entry& e : b.entries) {
     if (entry_matches(e, type_id, key, p)) return true;
   }
@@ -200,7 +200,7 @@ void TaskHistoryTable::evict_front_locked(Bucket& b) {
 }
 
 void TaskHistoryTable::insert_entry(Bucket& b, Entry&& e, std::size_t snap_bytes) {
-  std::unique_lock<std::shared_mutex> lock(b.mutex);
+  std::unique_lock<SharedSpinMutex> lock(b.mutex);
   for (Entry& existing : b.entries) {
     if (entry_matches(existing, e.type_id, e.key, e.p)) {
       lock.unlock();
@@ -281,7 +281,7 @@ void TaskHistoryTable::insert_snapshot(std::uint32_t type_id, HashKey key, doubl
 void TaskHistoryTable::for_each_entry(
     const std::function<void(EvictedEntry&&)>& fn) const {
   for (const Bucket& b : buckets_) {
-    std::shared_lock<std::shared_mutex> lock(b.mutex);
+    std::shared_lock<SharedSpinMutex> lock(b.mutex);
     for (const Entry& e : b.entries) {
       EvictedEntry out;
       out.type_id = e.type_id;
@@ -302,7 +302,7 @@ void TaskHistoryTable::for_each_entry(
 
 void TaskHistoryTable::clear() {
   for (Bucket& b : buckets_) {
-    std::unique_lock<std::shared_mutex> lock(b.mutex);
+    std::unique_lock<SharedSpinMutex> lock(b.mutex);
     for (Entry& e : b.entries) release_entry(e);
     b.entries.clear();
   }
@@ -312,7 +312,7 @@ void TaskHistoryTable::clear() {
 std::size_t TaskHistoryTable::entry_count() const {
   std::size_t n = 0;
   for (const Bucket& b : buckets_) {
-    std::shared_lock<std::shared_mutex> lock(b.mutex);
+    std::shared_lock<SharedSpinMutex> lock(b.mutex);
     n += b.entries.size();
   }
   return n;

@@ -1,23 +1,30 @@
 // Task History Table (paper §III-A, Figure 1).
 //
 // 2^N buckets indexed by the low N bits of the hash key; each bucket holds
-// up to M {key, p, outputs} entries with FIFO eviction and is protected by a
-// shared_mutex: parallel reads (lookups copy outputs under the shared lock),
-// exclusive writes (insert/evict). Entries record the p used to compute
-// their key (§III-D: Dynamic ATM must not match keys across p values) and
-// the creator task id (Figure 9's reuse attribution).
+// up to M {key, p, outputs} entries with FIFO eviction. Each bucket carries
+// its own 4-byte reader-writer spinlock (SharedSpinMutex) and is padded to
+// its own cacheline, so parallel lookups on different buckets never touch a
+// shared line and a lookup's lock traffic stays inside the bucket it reads
+// — the sharded-locking fix for the "THT bucket locks are the remaining
+// serialization point" item. Reads run in parallel under the shared mode
+// (lookups copy outputs out); insert/evict take the exclusive mode. Entries
+// record the p used to compute their key (§III-D: Dynamic ATM must not
+// match keys across p values) and the creator task id (Figure 9's reuse
+// attribution).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <shared_mutex>
 #include <vector>
 
 #include "atm/config.hpp"
 #include "common/buffer_arena.hpp"
 #include "common/hash.hpp"
+#include "common/shared_spin_mutex.hpp"
 #include "runtime/task.hpp"
 
 namespace atm {
@@ -166,8 +173,11 @@ class TaskHistoryTable {
     [[nodiscard]] bool matches_shape(const rt::Task& task) const noexcept;
     [[nodiscard]] bool inputs_equal(const rt::Task& task) const noexcept;
   };
-  struct Bucket {
-    mutable std::shared_mutex mutex;
+  /// Cacheline-isolated: the lock word and the entry deque of one bucket
+  /// never share a line with a neighboring bucket, so reader traffic on hot
+  /// buckets cannot false-share with inserts elsewhere.
+  struct alignas(64) Bucket {
+    mutable SharedSpinMutex mutex;
     std::deque<Entry> entries;
   };
 

@@ -1,0 +1,89 @@
+// A 4-byte reader-writer spinlock for sharded hot structures (the THT
+// buckets). std::shared_mutex is a 56-byte pthread rwlock whose acquire is
+// a futex-word protocol; for critical sections of a few hundred nanoseconds
+// (copy a memo snapshot out of a bucket) the syscall fallback is never worth
+// arming, and the size wrecks cacheline budgets once the lock is embedded
+// per bucket. This lock is one atomic word: writer bit + reader count.
+//
+// Writer-preference: a writer parks its intent bit first, which blocks new
+// readers, then waits for in-flight readers to drain — inserts cannot be
+// starved by a read storm. Spins yield after a bounded burst so
+// oversubscribed hosts (CI containers) stay live. Satisfies SharedLockable /
+// Lockable, so std::shared_lock / std::unique_lock / std::lock_guard work.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/spin_lock.hpp"
+
+namespace atm {
+
+class SharedSpinMutex {
+  static constexpr std::uint32_t kWriter = 1u << 31;
+
+ public:
+  SharedSpinMutex() noexcept = default;
+  SharedSpinMutex(const SharedSpinMutex&) = delete;
+  SharedSpinMutex& operator=(const SharedSpinMutex&) = delete;
+
+  void lock() noexcept {
+    // Phase 1: claim the writer bit (mutual exclusion among writers).
+    int spins = 0;
+    for (;;) {
+      std::uint32_t state = state_.load(std::memory_order_relaxed);
+      if ((state & kWriter) == 0 &&
+          state_.compare_exchange_weak(state, state | kWriter,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        break;
+      }
+      spin_backoff(spins);
+    }
+    // Phase 2: wait for in-flight readers to drain (new ones bounce off the
+    // writer bit).
+    spins = 0;
+    while ((state_.load(std::memory_order_acquire) & ~kWriter) != 0) {
+      spin_backoff(spins);
+    }
+  }
+
+  [[nodiscard]] bool try_lock() noexcept {
+    std::uint32_t expected = 0;
+    return state_.compare_exchange_strong(expected, kWriter,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  void unlock() noexcept {
+    state_.fetch_and(~kWriter, std::memory_order_release);
+  }
+
+  void lock_shared() noexcept {
+    int spins = 0;
+    for (;;) {
+      const std::uint32_t state =
+          state_.fetch_add(1, std::memory_order_acquire);
+      if ((state & kWriter) == 0) return;
+      // A writer holds (or is draining toward) the lock: back out and wait.
+      state_.fetch_sub(1, std::memory_order_relaxed);
+      while (state_.load(std::memory_order_relaxed) & kWriter) spin_backoff(spins);
+    }
+  }
+
+  [[nodiscard]] bool try_lock_shared() noexcept {
+    const std::uint32_t state = state_.fetch_add(1, std::memory_order_acquire);
+    if ((state & kWriter) == 0) return true;
+    state_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  void unlock_shared() noexcept {
+    state_.fetch_sub(1, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint32_t> state_{0};
+};
+
+}  // namespace atm

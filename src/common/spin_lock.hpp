@@ -1,0 +1,43 @@
+// A 1-byte test-and-set spinlock for sub-microsecond critical sections
+// (task successor lists, arena free-list pops, tracker shards). Spins are
+// bounded by the shared backoff below, so oversubscribed hosts (CI
+// containers) make progress when the holder was preempted. Copyable as a
+// fresh (unlocked) lock so structs holding one stay copyable.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace atm {
+
+/// Shared bounded-spin backoff: yield after 64 fruitless probes. The single
+/// definition keeps every spinning primitive (SpinLock, SharedSpinMutex)
+/// tuned together.
+inline void spin_backoff(int& spins) noexcept {
+  if (++spins >= 64) {
+    std::this_thread::yield();
+    spins = 0;
+  }
+}
+
+class SpinLock {
+ public:
+  SpinLock() noexcept = default;
+  SpinLock(const SpinLock&) noexcept {}
+  SpinLock& operator=(const SpinLock&) noexcept { return *this; }
+
+  void lock() noexcept {
+    int spins = 0;
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      do {
+        spin_backoff(spins);
+      } while (locked_.load(std::memory_order_relaxed));
+    }
+  }
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace atm

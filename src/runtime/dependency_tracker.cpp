@@ -1,12 +1,22 @@
 #include "runtime/dependency_tracker.hpp"
 
 #include <algorithm>
+#include <bit>
+
+#include "runtime/task_arena.hpp"
 
 namespace atm::rt {
 
 void DependencyTracker::add_dep(std::vector<Task*>& deps, Task* dep, const Task& self) {
   if (dep == nullptr || dep == &self) return;
-  if (std::find(deps.begin(), deps.end(), dep) == deps.end()) deps.push_back(dep);
+  if (std::find(deps.begin(), deps.end(), dep) == deps.end()) {
+    // The deps list holds a reference per entry: registering a write access
+    // may release the dep's (possibly last) segment slot in the very next
+    // statement of apply(), and the caller still needs the pointer alive to
+    // link the dependence. The caller releases after consuming the list.
+    task_retain(dep);
+    deps.push_back(dep);
+  }
 }
 
 void DependencyTracker::apply(Segment& seg, Task& task, AccessMode mode,
@@ -19,13 +29,27 @@ void DependencyTracker::apply(Segment& seg, Task& task, AccessMode mode,
   if (writes) {
     add_dep(deps, seg.writer, task);
     for (Task* r : seg.readers) add_dep(deps, r, task);
+    // Retain the new writer before releasing the old slot holders: when the
+    // task already owns the slot (a second overlapping write access) the
+    // count must never transiently reach zero.
+    task_retain(&task);
+    if (seg.writer != nullptr) task_release(seg.writer);
     seg.writer = &task;
+    for (Task* r : seg.readers) task_release(r);
     seg.readers.clear();
   } else {
     if (std::find(seg.readers.begin(), seg.readers.end(), &task) == seg.readers.end()) {
+      task_retain(&task);
       seg.readers.push_back(&task);
     }
   }
+}
+
+void DependencyTracker::release_segment(Segment& seg) noexcept {
+  if (seg.writer != nullptr) task_release(seg.writer);
+  for (Task* r : seg.readers) task_release(r);
+  seg.writer = nullptr;
+  seg.readers.clear();
 }
 
 DependencyTracker::SegMap::iterator DependencyTracker::split(SegMap::iterator it,
@@ -34,56 +58,206 @@ DependencyTracker::SegMap::iterator DependencyTracker::split(SegMap::iterator it
   Segment right = it->second;
   left.end = at;
   right.begin = at;
+  // The copy doubled every slot: retain once more per referenced task (the
+  // original's references are inherited by one of the halves).
+  if (right.writer != nullptr) task_retain(right.writer);
+  for (Task* r : right.readers) task_retain(r);
   segments_.erase(it);
-  segments_.emplace(left.begin, left);
-  auto [rit, inserted] = segments_.emplace(right.begin, right);
+  segments_.emplace(left.begin, std::move(left));
+  auto [rit, inserted] = segments_.emplace(right.begin, std::move(right));
   (void)inserted;
   return rit;
 }
 
+void DependencyTracker::register_range(Task& task, AccessMode mode, std::uintptr_t s,
+                                       std::uintptr_t e, std::vector<Task*>& deps) {
+  if (s == e) return;
+
+  if (s >= max_end_) {
+    // Fast path: [s, e) lies beyond every recorded segment, so it overlaps
+    // nothing — stage a fresh segment in the flat log without touching the
+    // tree. Streaming and array-order submissions (ascending addresses)
+    // live here entirely.
+    Segment fresh{s, e, nullptr, {}};
+    apply(fresh, task, mode, deps);
+    log_.push_back(std::move(fresh));
+    max_end_ = e;
+    return;
+  }
+  if (!log_.empty()) merge_log();
+
+  // Locate the first segment that may overlap [s, e).
+  auto it = segments_.lower_bound(s);
+  if (it != segments_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > s) it = prev;
+  }
+
+  std::uintptr_t cursor = s;
+  while (cursor < e) {
+    if (it == segments_.end() || it->second.begin >= e) {
+      // Trailing gap [cursor, e): fresh segment, no dependences.
+      Segment fresh{cursor, e, nullptr, {}};
+      apply(fresh, task, mode, deps);
+      segments_.emplace(cursor, std::move(fresh));
+      if (e > max_end_) max_end_ = e;
+      cursor = e;
+      break;
+    }
+    if (it->second.end <= cursor) {
+      ++it;
+      continue;
+    }
+    if (it->second.begin > cursor) {
+      // Gap [cursor, it->begin): fresh segment.
+      Segment fresh{cursor, it->second.begin, nullptr, {}};
+      apply(fresh, task, mode, deps);
+      segments_.emplace(cursor, std::move(fresh));
+      cursor = it->second.begin;
+      continue;  // `it` stays valid across the insert
+    }
+    // Segment starts at or before the cursor and overlaps it.
+    if (it->second.begin < cursor) it = split(it, cursor);
+    if (it->second.end > e) split(it, e), it = segments_.find(cursor);
+    apply(it->second, task, mode, deps);
+    cursor = it->second.end;
+    ++it;
+  }
+}
+
 void DependencyTracker::register_task(Task& task, std::vector<Task*>& deps) {
+  for (const DataAccess& access : task.accesses) {
+    register_range(task, access.mode, access.begin(), access.end(), deps);
+  }
+}
+
+void DependencyTracker::merge_log() {
+  // Log entries are ascending and beyond every tree key: each insert lands
+  // rightmost, so the end hint makes the fold O(1) per entry.
+  for (Segment& seg : log_) {
+    const std::uintptr_t begin = seg.begin;
+    segments_.emplace_hint(segments_.end(), begin, std::move(seg));
+  }
+  log_.clear();
+}
+
+void DependencyTracker::clear() noexcept {
+  for (auto& [begin, seg] : segments_) release_segment(seg);
+  segments_.clear();
+  for (Segment& seg : log_) release_segment(seg);
+  log_.clear();
+  max_end_ = 0;
+}
+
+std::size_t DependencyTracker::prune_finished() noexcept {
+  if (!log_.empty()) merge_log();
+  // Acquire-loads pair with the release Finished store in complete_task:
+  // erasing a segment deletes the dependence edge a future task would have
+  // taken, so the pruning thread must inherit the finished task's body
+  // writes here — the succ_lock seal handshake that normally provides the
+  // ordering is bypassed once the segment is gone.
+  const auto finished = [](Task* t) {
+    return t->state.load(std::memory_order_acquire) == TaskState::Finished;
+  };
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    Segment& seg = it->second;
+    const bool writer_done = seg.writer == nullptr || finished(seg.writer);
+    bool readers_done = writer_done;
+    if (readers_done) {
+      for (Task* r : seg.readers) {
+        if (!finished(r)) {
+          readers_done = false;
+          break;
+        }
+      }
+    }
+    if (readers_done) {
+      release_segment(seg);
+      it = segments_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return segments_.size();
+}
+
+// --- ShardedDependencyTracker ----------------------------------------------
+
+ShardedDependencyTracker::ShardedDependencyTracker(unsigned log2_shards,
+                                                   unsigned region_shift)
+    : log2_shards_(log2_shards > 6 ? 6 : log2_shards),
+      region_shift_(region_shift),
+      shard_count_(std::size_t{1} << log2_shards_),
+      shards_(std::make_unique<Shard[]>(shard_count_)) {}
+
+std::uint64_t ShardedDependencyTracker::footprint_mask(const Task& task) const noexcept {
+  std::uint64_t mask = 0;
   for (const DataAccess& access : task.accesses) {
     const std::uintptr_t s = access.begin();
     const std::uintptr_t e = access.end();
     if (s == e) continue;
-
-    // Locate the first segment that may overlap [s, e).
-    auto it = segments_.lower_bound(s);
-    if (it != segments_.begin()) {
-      auto prev = std::prev(it);
-      if (prev->second.end > s) it = prev;
-    }
-
-    std::uintptr_t cursor = s;
-    while (cursor < e) {
-      if (it == segments_.end() || it->second.begin >= e) {
-        // Trailing gap [cursor, e): fresh segment, no dependences.
-        Segment fresh{cursor, e, nullptr, {}};
-        apply(fresh, task, access.mode, deps);
-        segments_.emplace(cursor, std::move(fresh));
-        cursor = e;
-        break;
-      }
-      if (it->second.end <= cursor) {
-        ++it;
-        continue;
-      }
-      if (it->second.begin > cursor) {
-        // Gap [cursor, it->begin): fresh segment.
-        Segment fresh{cursor, it->second.begin, nullptr, {}};
-        apply(fresh, task, access.mode, deps);
-        segments_.emplace(cursor, std::move(fresh));
-        cursor = it->second.begin;
-        continue;  // `it` stays valid across the insert
-      }
-      // Segment starts at or before the cursor and overlaps it.
-      if (it->second.begin < cursor) it = split(it, cursor);
-      if (it->second.end > e) split(it, e), it = segments_.find(cursor);
-      apply(it->second, task, access.mode, deps);
-      cursor = it->second.end;
-      ++it;
+    for (std::uint64_t g = static_cast<std::uint64_t>(s) >> region_shift_,
+                       last = static_cast<std::uint64_t>(e - 1) >> region_shift_;
+         g <= last; ++g) {
+      mask |= std::uint64_t{1} << shard_index(static_cast<std::uintptr_t>(
+                  g << region_shift_));
     }
   }
+  return mask;
+}
+
+void ShardedDependencyTracker::lock_mask(std::uint64_t mask) noexcept {
+  // Ascending-index acquisition (two-phase locking); iterate set bits only.
+  while (mask != 0) {
+    const int i = std::countr_zero(mask);
+    shards_[i].mutex.lock();
+    mask &= mask - 1;
+  }
+}
+
+void ShardedDependencyTracker::unlock_mask(std::uint64_t mask) noexcept {
+  while (mask != 0) {
+    const int i = std::countr_zero(mask);
+    shards_[i].mutex.unlock();
+    mask &= mask - 1;
+  }
+}
+
+void ShardedDependencyTracker::maybe_prune_locked(std::uint64_t mask) noexcept {
+  // Called with the masked shards still locked. The doubling rule keeps the
+  // map within 2x of its live segments, amortizing the prune scan to O(1)
+  // per registration — this is what bounds the segment map for streaming
+  // workloads that never revisit an address. The floor is set so barrier-
+  // paced workloads (whose maps are cleared at each taskwait anyway) never
+  // pay a scan: pruning is a streaming-only safety valve, sized at ~1 MiB
+  // of segment nodes per shard before the first scan.
+  constexpr std::size_t kPruneMinimum = 8192;
+  while (mask != 0) {
+    const int i = std::countr_zero(mask);
+    mask &= mask - 1;
+    Shard& shard = shards_[i];
+    const std::size_t count = shard.tracker.segment_count();
+    if (count >= kPruneMinimum && count >= 2 * shard.prune_floor) {
+      shard.prune_floor = shard.tracker.prune_finished();
+    }
+  }
+}
+
+void ShardedDependencyTracker::clear() noexcept {
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<TaskSpinLock> lock(shards_[i].mutex);
+    shards_[i].tracker.clear();
+    shards_[i].prune_floor = 0;
+  }
+}
+
+std::size_t ShardedDependencyTracker::segment_count() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<TaskSpinLock> lock(shards_[i].mutex);
+    n += shards_[i].tracker.segment_count();
+  }
+  return n;
 }
 
 }  // namespace atm::rt

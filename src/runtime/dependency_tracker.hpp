@@ -9,32 +9,63 @@
 // keyed by start address and splits them on demand, so irregular accesses
 // (not just the block-aligned ones of the paper's apps) are handled exactly.
 //
-// Not thread-safe by itself: the Runtime serializes calls under its graph
-// mutex (task submission and the dependence bookkeeping are cheap relative
-// to task bodies; see docs/DESIGN.md §4).
+// Lifetime: every segment slot naming a task (last writer or reader set)
+// holds one reference on it (task_retain/task_release), so the pointers in
+// the map stay dereferenceable even after the task finished and was
+// otherwise retired. Slots referencing only Finished tasks carry no
+// dependence information — prune_finished() drops them, which both bounds
+// the map for streaming address patterns and releases the final references
+// that let the arena recycle the task records.
+//
+// DependencyTracker is not thread-safe by itself; ShardedDependencyTracker
+// (below) partitions the address space into granules, maps granules onto a
+// small set of lock-protected shard trackers, and two-phase-locks a task's
+// whole footprint so concurrent submitters register atomically — the
+// de-serialized replacement for the runtime's old single graph mutex.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <memory_resource>
+#include <mutex>
 #include <vector>
 
 #include "runtime/task.hpp"
+#include "runtime/task_arena.hpp"
 
 namespace atm::rt {
 
 class DependencyTracker {
  public:
+  ~DependencyTracker() { clear(); }
+
   /// Register every access of `task` and append the distinct predecessor
   /// tasks it must wait for to `deps` (possibly including already-finished
-  /// tasks; the caller filters on state).
+  /// tasks; the caller filters via the succ_sealed protocol). Each appended
+  /// dep carries one reference, which the caller owns (pooled-task callers
+  /// must task_release() each entry after consuming the list; standalone
+  /// test tasks are unaffected — their counts never reach the release path).
   void register_task(Task& task, std::vector<Task*>& deps);
 
-  /// Drop all segment bookkeeping (legal only at a barrier, when no task is
-  /// pending: every future dependence would be on a finished task anyway).
-  void clear() noexcept { segments_.clear(); }
+  /// Register one access clipped to [begin, end) — the sharded wrapper's
+  /// entry point (each shard sees only its own granules of an access).
+  void register_range(Task& task, AccessMode mode, std::uintptr_t begin,
+                      std::uintptr_t end, std::vector<Task*>& deps);
 
-  /// Number of live segments (exposed for tests and memory accounting).
-  [[nodiscard]] std::size_t segment_count() const noexcept { return segments_.size(); }
+  /// Drop all segment bookkeeping, releasing the task references the slots
+  /// held (legal only at a barrier, when no task is pending: every future
+  /// dependence would be on a finished task anyway).
+  void clear() noexcept;
+
+  /// Drop segments whose writer and readers have all Finished: they can
+  /// never contribute a dependence again. Returns the surviving count.
+  std::size_t prune_finished() noexcept;
+
+  /// Number of live segments, tree + staged log (tests, memory accounting).
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return segments_.size() + log_.size();
+  }
 
  private:
   struct Segment {
@@ -44,19 +75,123 @@ class DependencyTracker {
     std::vector<Task*> readers;   ///< readers since the last write
   };
 
-  using SegMap = std::map<std::uintptr_t, Segment>;
+  /// Map nodes come from a per-tracker pool: segments churn once per task
+  /// in streaming workloads, and the pool recycles nodes without a
+  /// malloc/free round trip (and with better locality than the heap).
+  using SegMap = std::pmr::map<std::uintptr_t, Segment>;
 
   /// Split the segment at `at` (strictly inside it); returns the iterator to
-  /// the right half, which starts at `at`.
+  /// the right half, which starts at `at`. Both halves keep referencing the
+  /// same tasks, so the duplicated slots each retain their targets.
   SegMap::iterator split(SegMap::iterator it, std::uintptr_t at);
 
   /// Record deps of `task` accessing `seg` with `mode`, then update the
-  /// segment's writer/readers.
+  /// segment's writer/readers (retaining/releasing as slots change hands).
   static void apply(Segment& seg, Task& task, AccessMode mode, std::vector<Task*>& deps);
 
   static void add_dep(std::vector<Task*>& deps, Task* dep, const Task& self);
+  static void release_segment(Segment& seg) noexcept;
 
-  SegMap segments_;
+  /// Fold the append log into the tree (each entry is rightmost, so every
+  /// insert is an O(1) end-hint append). Called before any tree walk.
+  void merge_log();
+
+  std::pmr::unsynchronized_pool_resource node_pool_;
+  SegMap segments_{&node_pool_};
+  /// Staging run for the fast path: strictly ascending, mutually disjoint
+  /// segments that all lie at or beyond every tree segment. The dominant
+  /// ascending/fresh-address submission patterns only ever push_back here
+  /// (and taskwait clears a flat vector, not a tree); the log folds into
+  /// the tree the first time an access actually needs an overlap query.
+  std::vector<Segment> log_;
+  /// Upper bound on every segment's end address, tree and log (conservative:
+  /// never shrinks outside clear()). An access starting at or past it cannot
+  /// overlap anything — the O(1) append fast path.
+  std::uintptr_t max_end_ = 0;
+};
+
+/// Sharded front of the tracker: the submit-path lock is split by address
+/// region so independent submissions proceed in parallel.
+///
+/// Mapping: the address space is cut into 2^region_shift-byte granules and
+/// each granule hashes onto one of the 2^log2_shards shard trackers. A
+/// task's accesses are clipped at granule boundaries and each piece is
+/// registered in its granule's shard. Registration first collects the
+/// shard set of the whole footprint and locks it in ascending index order —
+/// classic two-phase locking, so two tasks overlapping in several shards
+/// can never observe each other in opposite orders (no dependence cycles).
+class ShardedDependencyTracker {
+ public:
+  /// Up to 64 shards (the footprint set is a 64-bit mask). The default
+  /// granule (2 MiB) keeps typical app block accesses in one shard while
+  /// spreading distinct buffers across the pool.
+  explicit ShardedDependencyTracker(unsigned log2_shards = 4,
+                                    unsigned region_shift = 21);
+
+  /// Register `task`, then call `visit(dep)` for every distinct predecessor
+  /// while the footprint's shard locks are still held (the locks pin the
+  /// segment references, so dep pointers are safe to link during the visit).
+  template <typename DepVisitor>
+  void register_task(Task& task, DepVisitor&& visit) {
+    thread_local std::vector<Task*> deps;
+    deps.clear();
+    const std::uint64_t footprint = footprint_mask(task);
+    lock_mask(footprint);
+    for (const DataAccess& access : task.accesses) {
+      std::uintptr_t cursor = access.begin();
+      const std::uintptr_t end = access.end();
+      while (cursor < end) {
+        const std::uintptr_t granule_end =
+            ((cursor >> region_shift_) + 1) << region_shift_;
+        const std::uintptr_t piece_end = granule_end < end ? granule_end : end;
+        shards_[shard_index(cursor)].tracker.register_range(task, access.mode, cursor,
+                                                            piece_end, deps);
+        cursor = piece_end;
+      }
+    }
+    for (Task* dep : deps) visit(dep);
+    maybe_prune_locked(footprint);
+    unlock_mask(footprint);
+    // Drop the references add_dep() took on the deps list entries.
+    for (Task* dep : deps) task_release(dep);
+  }
+
+  /// Barrier reset: clears every shard (releasing all segment references).
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t segment_count() const;
+  [[nodiscard]] unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shard_count_);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    /// Spinlock, not a futex mutex: the critical section is a couple of map
+    /// operations and submissions rarely collide on a shard; TaskSpinLock
+    /// yields after a bounded burst, so oversubscribed hosts stay live.
+    TaskSpinLock mutex;
+    DependencyTracker tracker;
+    /// Segment count after the last prune; the next prune triggers once the
+    /// map doubles past it (amortized O(1) per registration).
+    std::size_t prune_floor = 0;
+  };
+
+  [[nodiscard]] std::size_t shard_index(std::uintptr_t addr) const noexcept {
+    if (log2_shards_ == 0) return 0;
+    const std::uint64_t granule = static_cast<std::uint64_t>(addr) >> region_shift_;
+    return static_cast<std::size_t>((granule * 0x9e3779b97f4a7c15ull) >>
+                                    (64 - log2_shards_));
+  }
+
+  [[nodiscard]] std::uint64_t footprint_mask(const Task& task) const noexcept;
+  void lock_mask(std::uint64_t mask) noexcept;
+  void unlock_mask(std::uint64_t mask) noexcept;
+  void maybe_prune_locked(std::uint64_t mask) noexcept;
+
+  unsigned log2_shards_;
+  unsigned region_shift_;
+  std::size_t shard_count_;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace atm::rt

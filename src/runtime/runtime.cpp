@@ -17,7 +17,9 @@ Runtime::Runtime(RuntimeConfig config)
                                            : std::max(1u, std::thread::hardware_concurrency())),
       sched_policy_(config.sched),
       tracer_(std::make_unique<TraceRecorder>(num_threads_ + 1, config.enable_tracing)),
-      sched_(Scheduler::make(config.sched, num_threads_, tracer_.get())) {
+      sched_(Scheduler::make(config.sched, num_threads_, tracer_.get())),
+      arena_(config.arena_block_tasks),
+      tracker_(config.graph_log2_shards) {
   workers_.reserve(num_threads_);
   for (unsigned w = 0; w < num_threads_; ++w) {
     workers_.emplace_back([this, w] { worker_main(w); });
@@ -53,48 +55,62 @@ std::size_t Runtime::current_lane() const noexcept {
 }
 
 void Runtime::submit(const TaskType* type, std::function<void()> fn,
-                     std::vector<DataAccess> accesses) {
+                     std::span<const DataAccess> accesses) {
   assert(type != nullptr);
-  auto owned = std::make_unique<Task>();
-  Task* task = owned.get();
+  Task* task = arena_.acquire();
   task->type = type;
   task->fn = std::move(fn);
-  task->accesses = std::move(accesses);
+  task->accesses.assign(accesses.begin(), accesses.end());
+  // The submitted counter doubles as the id allocator (ids are dense in
+  // submission order, as before — one atomic instead of two).
+  task->id = counters_.submitted.fetch_add(1, std::memory_order_relaxed);
 
-  bool ready = false;
+  // Count the task pending before it can possibly complete; the final
+  // decrement in complete_task() is what wakes taskwait().
+  pending_tasks_.fetch_add(1, std::memory_order_relaxed);
+
+  // Submission guard: holds the ready transition until every predecessor is
+  // linked, so a predecessor finishing mid-registration cannot double-push.
+  // The guard is set before the first link becomes visible; when no link was
+  // made, no other thread can touch the count and the task pushes directly.
+  task->pending_preds.store(1, std::memory_order_relaxed);
+  std::uint32_t links = 0;
+  const std::size_t lane = current_lane();
   {
-    TraceScope creation(tracer_.get(), current_lane(), TraceState::Creation);
-    std::lock_guard<std::mutex> lock(graph_mutex_);
-    task->id = next_task_id_++;
-    deps_scratch_.clear();
-    tracker_.register_task(*task, deps_scratch_);
-    for (Task* dep : deps_scratch_) {
-      if (dep->state != TaskState::Finished) {
+    TraceScope creation(tracer_.get(), lane, TraceState::Creation);
+    tracker_.register_task(*task, [task, &links](Task* dep) {
+      // The shard locks pin `dep` (its segment slots hold references); the
+      // succ_lock arbitrates against its completion walk.
+      dep->succ_lock.lock();
+      if (!dep->succ_sealed) {
         dep->successors.push_back(task);
-        ++task->pending_preds;
+        task->pending_preds.fetch_add(1, std::memory_order_relaxed);
+        ++links;
       }
-    }
-    ++pending_tasks_;
-    tasks_.push_back(std::move(owned));
-    if (task->pending_preds == 0) {
-      task->state = TaskState::Ready;
-      ready = true;
-    }
+      dep->succ_lock.unlock();
+    });
   }
-  {
-    std::lock_guard<std::mutex> lock(counters_mutex_);
-    ++counters_.submitted;
+  if (links == 0) {
+    task->pending_preds.store(0, std::memory_order_relaxed);
+    task->state = TaskState::Ready;
+    sched_->push(task, lane);
+  } else if (task->pending_preds.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    task->state = TaskState::Ready;
+    sched_->push(task, lane);
   }
-  if (ready) sched_->push(task, current_lane());
 }
 
 void Runtime::taskwait() {
-  std::unique_lock<std::mutex> lock(graph_mutex_);
-  all_done_cv_.wait(lock, [&] { return pending_tasks_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(wait_mutex_);
+    all_done_cv_.wait(lock, [&] {
+      return pending_tasks_.load(std::memory_order_acquire) == 0;
+    });
+  }
   // Barrier semantics: every submitted task finished; future tasks can only
-  // depend on finished work, so the segment map and task records can go.
+  // depend on finished work, so the segment map can go — dropping the last
+  // references that keep finished records out of the arena free list.
   tracker_.clear();
-  tasks_.clear();
 }
 
 void Runtime::worker_main(unsigned worker_id) {
@@ -118,10 +134,7 @@ void Runtime::process_task(Task* task, std::size_t lane) {
   switch (decision) {
     case MemoizationHook::Decision::Hit: {
       task->atm_memoized = true;
-      {
-        std::lock_guard<std::mutex> lock(counters_mutex_);
-        ++counters_.memoized;
-      }
+      counters_.memoized.fetch_add(1, std::memory_order_relaxed);
       complete_task(*task);
       return;
     }
@@ -139,10 +152,7 @@ void Runtime::process_task(Task* task, std::size_t lane) {
       if (hook_ != nullptr && task->type->memoizable()) {
         hook_->on_task_executed(*task, lane);
       }
-      {
-        std::lock_guard<std::mutex> lock(counters_mutex_);
-        ++counters_.executed;
-      }
+      counters_.executed.fetch_add(1, std::memory_order_relaxed);
       complete_task(*task);
       return;
     }
@@ -151,40 +161,69 @@ void Runtime::process_task(Task* task, std::size_t lane) {
 
 void Runtime::complete_without_execution(Task& task, bool via_ikt) {
   task.atm_memoized = true;
-  {
-    std::lock_guard<std::mutex> lock(counters_mutex_);
-    if (via_ikt) {
-      ++counters_.deferred;
-    } else {
-      ++counters_.memoized;
-    }
+  if (via_ikt) {
+    counters_.deferred.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.memoized.fetch_add(1, std::memory_order_relaxed);
   }
   complete_task(task);
 }
 
 void Runtime::complete_task(Task& task) {
-  std::vector<Task*> newly_ready;
-  bool all_done = false;
-  {
-    std::lock_guard<std::mutex> lock(graph_mutex_);
-    task.state = TaskState::Finished;
-    for (Task* succ : task.successors) {
-      if (--succ->pending_preds == 0) {
-        succ->state = TaskState::Ready;
-        newly_ready.push_back(succ);
-      }
-    }
-    --pending_tasks_;
-    all_done = pending_tasks_ == 0;
-  }
+  // Seal first: once sealed, submitters treat this task as satisfied and no
+  // successor can be appended, so the swapped-out list is complete. The
+  // Finished store sits inside the same critical section (so succ_lock
+  // holders observing Finished also observe the seal) and uses RELEASE:
+  // the tracker's prune path drops segments of Finished tasks after only
+  // an acquire-load of this state — without the release/acquire pair a
+  // later task whose dependence edge was pruned away could run without a
+  // happens-before on this task's body writes (real on ARM; invisible on
+  // x86-TSO).
+  thread_local std::vector<Task*> successors;
+  successors.clear();
+  task.succ_lock.lock();
+  task.succ_sealed = true;
+  task.state.store(TaskState::Finished, std::memory_order_release);
+  successors.assign(task.successors.begin(), task.successors.end());
+  task.successors.clear();
+  task.succ_lock.unlock();
+
+  // Eager closure release: captures (and whatever they own) go now, not when
+  // the record is recycled.
+  task.fn = nullptr;
+
   const std::size_t lane = current_lane();
-  for (Task* succ : newly_ready) sched_->push(succ, lane);
-  if (all_done) all_done_cv_.notify_all();
+  for (Task* succ : successors) {
+    // Successors still hold our +1 in pending_preds, so they are live; the
+    // thread whose decrement reaches zero owns the push (exactly-once wakeup).
+    if (succ->pending_preds.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      succ->state = TaskState::Ready;
+      sched_->push(succ, lane);
+    }
+  }
+
+  // Drop the in-flight reference before the task is counted done: `task`
+  // must not be touched past this line (the record may be recycled by a
+  // submitter immediately), and releasing first makes "taskwait returned"
+  // imply "every in-flight reference is gone" — after the barrier's
+  // tracker clear, the arena is deterministically drained.
+  task_release(&task);
+
+  if (pending_tasks_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // The lock orders the notify against a waiter that passed its predicate
+    // check but has not yet suspended.
+    std::lock_guard<std::mutex> lock(wait_mutex_);
+    all_done_cv_.notify_all();
+  }
 }
 
 RuntimeCounters Runtime::counters() const {
-  std::lock_guard<std::mutex> lock(counters_mutex_);
-  return counters_;
+  RuntimeCounters c;
+  c.submitted = counters_.submitted.load(std::memory_order_relaxed);
+  c.executed = counters_.executed.load(std::memory_order_relaxed);
+  c.memoized = counters_.memoized.load(std::memory_order_relaxed);
+  c.deferred = counters_.deferred.load(std::memory_order_relaxed);
+  return c;
 }
 
 }  // namespace atm::rt

@@ -1,21 +1,34 @@
 // The runtime facade: task submission, dependence tracking, worker pool,
 // taskwait, tracing, and the hook through which the ATM engine intercepts
 // ready tasks (paper Figure 1: TDG -> RQ -> threads -> THT/IKT).
+//
+// PR 4 lifecycle: tasks live in a pooled TaskArena and are reference
+// counted (see task.hpp / task_arena.hpp). Submission registers the task's
+// footprint in a sharded dependence tracker (no global graph mutex), links
+// it to unfinished predecessors through each predecessor's succ_lock, and
+// publishes it with a pending-predecessor count whose final decrement owns
+// the scheduler push. Completion seals the successor list, releases the
+// newly-ready successors and drops the in-flight reference — the record is
+// recycled as soon as its segment slots are overwritten or pruned, not at
+// the next taskwait. Counters are plain atomics; the only mutex left on the
+// submit/complete path is the (sharded, mostly uncontended) tracker lock.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <initializer_list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "runtime/dependency_tracker.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/task.hpp"
+#include "runtime/task_arena.hpp"
 #include "runtime/task_type.hpp"
 #include "runtime/trace.hpp"
 
@@ -59,6 +72,12 @@ struct RuntimeConfig {
   /// is the default; Central is the paper's single mutex+condvar RQ, kept
   /// for A/B comparison (`atm_run --sched central`).
   SchedPolicy sched = SchedPolicy::Steal;
+  /// Dependence-tracker shards (log2, capped at 6): the submit-path lock
+  /// granularity. More shards = more concurrent submitters on disjoint
+  /// footprints; 0 = one shard (the pre-PR-4 single-lock behavior).
+  unsigned graph_log2_shards = 4;
+  /// Task records carved per arena slab.
+  unsigned arena_block_tasks = 256;
 };
 
 /// Monotonic counters; cheap enough to keep always-on.
@@ -86,12 +105,27 @@ class Runtime {
 
   /// Submit one task: `fn` must be a pure function of the declared input
   /// regions writing only the declared output regions (paper §III-E).
+  /// The span/initializer_list overloads copy the accesses into the pooled
+  /// task's recycled vector — the no-allocation fast path a brace-enclosed
+  /// access list takes automatically.
   void submit(const TaskType* type, std::function<void()> fn,
-              std::vector<DataAccess> accesses);
+              std::span<const DataAccess> accesses);
+  void submit(const TaskType* type, std::function<void()> fn,
+              std::initializer_list<DataAccess> accesses) {
+    submit(type, std::move(fn), std::span<const DataAccess>(accesses.begin(),
+                                                            accesses.size()));
+  }
+  void submit(const TaskType* type, std::function<void()> fn,
+              const std::vector<DataAccess>& accesses) {
+    submit(type, std::move(fn),
+           std::span<const DataAccess>(accesses.data(), accesses.size()));
+  }
 
   /// Block until every submitted task completed, then reset the dependence
   /// bookkeeping (the THT inside an attached engine persists; reuse across
   /// taskwait barriers is exactly what the paper's iterative apps need).
+  /// Must not race with submissions from other threads (same contract as
+  /// OmpSs: the thread at the barrier owns the task region).
   void taskwait();
 
   /// Used by the memoization hook: complete `task` whose outputs were
@@ -111,6 +145,14 @@ class Runtime {
   /// Number of distinct registered task types.
   [[nodiscard]] std::size_t type_count() const;
 
+  /// Task-record pool occupancy (the streaming-regression memory guard).
+  [[nodiscard]] TaskArenaStats arena_stats() const { return arena_.stats(); }
+
+  /// Live dependence-tracker segments across all shards.
+  [[nodiscard]] std::size_t tracker_segment_count() const {
+    return tracker_.segment_count();
+  }
+
  private:
   void worker_main(unsigned worker_id);
   void process_task(Task* task, std::size_t lane);
@@ -121,19 +163,23 @@ class Runtime {
   std::unique_ptr<TraceRecorder> tracer_;
   std::unique_ptr<Scheduler> sched_;
 
-  mutable std::mutex graph_mutex_;
+  TaskArena arena_;
+  ShardedDependencyTracker tracker_;
+  // (both sized from RuntimeConfig in the constructor)
+  std::atomic<std::uint64_t> pending_tasks_{0};
+  std::mutex wait_mutex_;
   std::condition_variable all_done_cv_;
-  DependencyTracker tracker_;
-  std::deque<std::unique_ptr<Task>> tasks_;
-  std::vector<Task*> deps_scratch_;
-  std::uint64_t pending_tasks_ = 0;
-  TaskId next_task_id_ = 0;
 
   mutable std::mutex types_mutex_;
   std::vector<std::unique_ptr<TaskType>> types_;
 
-  mutable std::mutex counters_mutex_;
-  RuntimeCounters counters_;
+  struct alignas(64) AtomicCounters {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> memoized{0};
+    std::atomic<std::uint64_t> deferred{0};
+  };
+  AtomicCounters counters_;
 
   MemoizationHook* hook_ = nullptr;
   std::vector<std::thread> workers_;

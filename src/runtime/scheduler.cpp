@@ -70,31 +70,100 @@ void StealScheduler::push(Task* task, std::size_t lane) {
     // still warm in its cache); thieves pick it up from the top if not.
     slots_[lane]->deque.push(task);
   } else {
-    // External submission (master or any non-worker thread): round-robin
-    // across inboxes so a storm spreads over the pool.
-    const std::uint32_t w = rr_.fetch_add(1, std::memory_order_relaxed) % workers_;
-    std::lock_guard<std::mutex> lock(slots_[w]->inbox_mutex);
-    slots_[w]->inbox.push_back(task);
-    slots_[w]->inbox_size.store(static_cast<std::uint32_t>(slots_[w]->inbox.size()),
-                                std::memory_order_relaxed);
+    // External submission (master or any non-worker thread): spread across
+    // inboxes by task id (dense in submission order — round-robin without a
+    // shared cursor). Lock-free MPSC push: one CAS, no mutex anywhere.
+    WorkerSlot& slot = *slots_[task->id % workers_];
+    Task* head = slot.inbox_head.load(std::memory_order_relaxed);
+    do {
+      task->inbox_next.store(head, std::memory_order_relaxed);
+    } while (!slot.inbox_head.compare_exchange_weak(
+        head, task, std::memory_order_release, std::memory_order_relaxed));
   }
   note_push();
 }
 
+Task* StealScheduler::take_inbox_chain(WorkerSlot& victim, std::size_t* n) {
+  *n = 0;
+  if (victim.inbox_head.load(std::memory_order_relaxed) == nullptr) return nullptr;
+  Task* chain = victim.inbox_head.exchange(nullptr, std::memory_order_acquire);
+  if (chain == nullptr) return nullptr;
+  // Reverse the LIFO chain back to submission order.
+  Task* ordered = nullptr;
+  std::size_t count = 0;
+  while (chain != nullptr) {
+    Task* next = chain->inbox_next.load(std::memory_order_relaxed);
+    chain->inbox_next.store(ordered, std::memory_order_relaxed);
+    ordered = chain;
+    chain = next;
+    ++count;
+  }
+  *n = count;
+  return ordered;
+}
+
+std::size_t StealScheduler::drain_inbox(WorkerSlot& victim, WorkStealDeque& into) {
+  std::size_t n = 0;
+  Task* ordered = take_inbox_chain(victim, &n);
+  while (ordered != nullptr) {
+    Task* next = ordered->inbox_next.load(std::memory_order_relaxed);
+    ordered->inbox_next.store(nullptr, std::memory_order_relaxed);
+    into.push(ordered);
+    ordered = next;
+  }
+  return n;
+}
+
 Task* StealScheduler::acquire_local(unsigned worker) {
   WorkerSlot& slot = *slots_[worker];
-  if (Task* task = slot.deque.pop()) return acquired(task);
-  // Drain the inbox wholesale under one lock: a k-task submission burst
-  // costs one lock acquisition here, not k. Submission order is preserved
-  // in the deque; the worker then works LIFO while thieves take FIFO.
-  if (slot.inbox_size.load(std::memory_order_relaxed) != 0) {
-    std::lock_guard<std::mutex> lock(slot.inbox_mutex);
-    for (Task* task : slot.inbox) slot.deque.push(task);
-    slot.inbox.clear();
-    slot.inbox_size.store(0, std::memory_order_relaxed);
+  if (slot.batch_head != nullptr) {
+    // Private batch: two pointer moves, no deque fence, no items_ traffic
+    // (the whole batch was accounted when it was carved off).
+    Task* task = slot.batch_head;
+    slot.batch_head = task->inbox_next.load(std::memory_order_relaxed);
+    task->inbox_next.store(nullptr, std::memory_order_relaxed);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->sample_depth(now_ns(), items_.load(std::memory_order_relaxed));
+    }
+    return task;
   }
   if (Task* task = slot.deque.pop()) return acquired(task);
-  return nullptr;
+  // Drain the inbox wholesale: a k-task submission burst costs one exchange
+  // here, not k acquires. The first kBatchMax stay in the private FIFO; the
+  // remainder spills to the deque where thieves can reach it. The cap
+  // trades deque-fence amortization against steal visibility: batched
+  // tasks are invisible to thieves until consumed, so it is kept small
+  // enough that a worker landing in a long task strands at most 31
+  // followers (the spill, and every later burst, remain stealable) while
+  // still amortizing the pop fence to ~3% of per-task cost.
+  constexpr std::size_t kBatchMax = 32;
+  std::size_t n = 0;
+  Task* chain = take_inbox_chain(slot, &n);
+  if (chain == nullptr) return nullptr;
+  slot.batch_head = chain;
+  Task* tail = chain;
+  std::size_t kept = 1;
+  for (; kept < kBatchMax; ++kept) {
+    Task* next = tail->inbox_next.load(std::memory_order_relaxed);
+    if (next == nullptr) break;
+    tail = next;
+  }
+  Task* spill = tail->inbox_next.load(std::memory_order_relaxed);
+  tail->inbox_next.store(nullptr, std::memory_order_relaxed);
+  if (spill == nullptr) kept = n;  // whole chain fit in the batch
+  // The batched tasks leave the globally-visible pool now: account them in
+  // one bulk decrement instead of one per task.
+  items_.fetch_sub(kept, std::memory_order_relaxed);
+  while (spill != nullptr) {
+    Task* next = spill->inbox_next.load(std::memory_order_relaxed);
+    spill->inbox_next.store(nullptr, std::memory_order_relaxed);
+    slot.deque.push(spill);
+    spill = next;
+  }
+  Task* task = slot.batch_head;
+  slot.batch_head = task->inbox_next.load(std::memory_order_relaxed);
+  task->inbox_next.store(nullptr, std::memory_order_relaxed);
+  return task;
 }
 
 Task* StealScheduler::acquire_steal(unsigned worker) {
@@ -111,20 +180,13 @@ Task* StealScheduler::acquire_steal(unsigned worker) {
       me.victim_cursor = v;  // keep milking a productive victim
       return acquired(task);
     }
-    Task* task = nullptr;
-    if (victim.inbox_size.load(std::memory_order_relaxed) != 0 &&
-        victim.inbox_mutex.try_lock()) {
-      std::lock_guard<std::mutex> lock(victim.inbox_mutex, std::adopt_lock);
-      if (!victim.inbox.empty()) {
-        task = victim.inbox.front();
-        victim.inbox.pop_front();
-        victim.inbox_size.store(static_cast<std::uint32_t>(victim.inbox.size()),
-                                std::memory_order_relaxed);
+    // Drain the victim's stranded inbox into our own deque and take from
+    // there: redistributes a whole burst in one exchange.
+    if (drain_inbox(victim, me.deque) != 0) {
+      if (Task* task = me.deque.pop()) {
+        me.victim_cursor = v;
+        return acquired(task);
       }
-    }
-    if (task != nullptr) {
-      me.victim_cursor = v;
-      return acquired(task);
     }
   }
   me.victim_cursor = (me.victim_cursor + 1) % workers_;

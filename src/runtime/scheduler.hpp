@@ -17,7 +17,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -104,13 +103,18 @@ class CentralScheduler final : public Scheduler {
 
 /// Work-stealing scheduler: per-worker Chase-Lev deque + external inbox.
 ///
+/// The inbox is a lock-free intrusive MPSC stack (Treiber push through
+/// Task::inbox_next, wholesale exchange-drain, reversed to submission
+/// order): an external submission is one fetch_add + one CAS — no mutex
+/// anywhere on the submit path.
+///
 /// Acquire order for worker w (try_pop):
 ///   1. own deque (LIFO — hottest task first),
-///   2. own inbox, drained wholesale into the deque under one lock (so a
-///      burst of master submissions costs one lock, not one per task),
+///   2. own inbox, drained wholesale into the deque (a burst of master
+///      submissions costs one exchange here, not one acquire per task),
 ///   3. steal: sweep the other workers, first their deque tops (FIFO), then
-///      their inboxes (a victim stuck in a long task must not strand its
-///      inbox).
+///      their inboxes — drained into the thief's own deque, so a victim
+///      stuck in a long task cannot strand external submissions.
 ///
 /// Idle protocol (pop_blocking): spin a bounded number of acquire rounds
 /// (yielding, so oversubscribed containers do not burn the core), then park
@@ -134,16 +138,26 @@ class StealScheduler final : public Scheduler {
  private:
   struct alignas(64) WorkerSlot {
     WorkStealDeque deque;
-    std::mutex inbox_mutex;
-    std::deque<Task*> inbox;
-    /// Mirrors inbox.size() (updated under inbox_mutex) so thieves can skip
-    /// empty inboxes without touching the deque object unlocked.
-    std::atomic<std::uint32_t> inbox_size{0};
+    /// MPSC inbox head: producers CAS-push (LIFO); a drainer exchanges the
+    /// whole chain out and reverses it back to submission order. Idle
+    /// sweeps skip empty inboxes with one relaxed load of this pointer.
+    std::atomic<Task*> inbox_head{nullptr};
+    /// Owner-private FIFO of drained inbox tasks (chained via inbox_next):
+    /// consuming one is two pointer moves — no deque fence. Capped at
+    /// kBatchMax per drain; the remainder spills to the deque so thieves
+    /// still see a stuck owner's backlog.
+    Task* batch_head = nullptr;
     std::uint32_t victim_cursor = 0;  ///< worker-local steal start point
   };
 
   void note_push();
   Task* acquired(Task* task);
+  /// Exchange `victim`'s inbox chain out and return it in submission order
+  /// (count in *n). nullptr when empty (or a producer is mid-publish).
+  static Task* take_inbox_chain(WorkerSlot& victim, std::size_t* n);
+  /// Drain `victim`'s inbox wholesale into `into` (submission order).
+  /// Returns the number of tasks moved.
+  static std::size_t drain_inbox(WorkerSlot& victim, WorkStealDeque& into);
   [[nodiscard]] Task* acquire_local(unsigned worker);
   [[nodiscard]] Task* acquire_steal(unsigned worker);
 
@@ -151,8 +165,8 @@ class StealScheduler final : public Scheduler {
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
 
   /// Tasks across all deques + inboxes; also the Figure-8 depth signal.
+  /// (Worker-private batches are excluded — they are committed to an owner.)
   std::atomic<std::size_t> items_{0};
-  std::atomic<std::uint32_t> rr_{0};  ///< round-robin cursor for external pushes
   std::atomic<bool> shutdown_{false};
 
   std::atomic<int> sleepers_{0};

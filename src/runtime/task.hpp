@@ -1,5 +1,14 @@
 // A task instance: closure + declared accesses + dependence-graph state +
 // the ATM bookkeeping attached while the task flows through the engine.
+//
+// Lifecycle (PR 4): task records are pooled in a per-runtime TaskArena and
+// reference-counted. A task holds one "in-flight" reference from submission
+// until its completion has been fully published, plus one reference per
+// dependence-tracker segment slot that names it (last writer / reader sets).
+// The record is retired — returned to the arena free list, vectors keeping
+// their capacity — the moment the last reference drops, which for streaming
+// workloads is right after the last successor consumed its completion and
+// its segment slots were overwritten, NOT at the next taskwait.
 #pragma once
 
 #include <atomic>
@@ -8,12 +17,15 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/spin_lock.hpp"
 #include "runtime/data_access.hpp"
 #include "runtime/task_type.hpp"
 
 namespace atm::rt {
 
 using TaskId = std::uint64_t;
+
+class TaskArena;
 
 /// Lifecycle of a task inside the runtime.
 enum class TaskState : std::uint8_t {
@@ -24,30 +36,63 @@ enum class TaskState : std::uint8_t {
   Finished,  ///< complete; successors released
 };
 
-/// Atomic TaskState holder that keeps Task copyable/movable (tests and
-/// benches build tasks by value). The dependence-ordering guarantees come
-/// from the runtime's graph mutex; the atomic makes the informational
-/// Running/Deferred stores — written by workers without that lock — defined
-/// behavior against concurrent state reads.
-class TaskStateCell {
+/// Copyable atomic cell: keeps Task copyable/movable (tests and benches
+/// build tasks by value) while giving concurrent accesses defined behavior.
+/// Copies are relaxed snapshots — pooled tasks are never copied; only
+/// standalone test/bench tasks are, and those are single-threaded.
+template <typename T>
+class AtomicCell {
  public:
-  constexpr TaskStateCell() noexcept = default;
-  TaskStateCell(TaskState s) noexcept : v_(s) {}
-  TaskStateCell(const TaskStateCell& other) noexcept
+  constexpr AtomicCell() noexcept = default;
+  constexpr AtomicCell(T v) noexcept : v_(v) {}
+  AtomicCell(const AtomicCell& other) noexcept
       : v_(other.v_.load(std::memory_order_relaxed)) {}
-  TaskStateCell& operator=(const TaskStateCell& other) noexcept {
+  AtomicCell& operator=(const AtomicCell& other) noexcept {
     v_.store(other.v_.load(std::memory_order_relaxed), std::memory_order_relaxed);
     return *this;
   }
-  TaskStateCell& operator=(TaskState s) noexcept {
-    v_.store(s, std::memory_order_relaxed);
+  AtomicCell& operator=(T v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
     return *this;
   }
-  operator TaskState() const noexcept { return v_.load(std::memory_order_relaxed); }
+  operator T() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+  [[nodiscard]] T load(std::memory_order mo = std::memory_order_relaxed) const noexcept {
+    return v_.load(mo);
+  }
+  void store(T v, std::memory_order mo = std::memory_order_relaxed) noexcept {
+    v_.store(v, mo);
+  }
+  T fetch_add(T d, std::memory_order mo = std::memory_order_relaxed) noexcept {
+    return v_.fetch_add(d, mo);
+  }
+  T fetch_sub(T d, std::memory_order mo = std::memory_order_relaxed) noexcept {
+    return v_.fetch_sub(d, mo);
+  }
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    return v_.exchange(v, mo);
+  }
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order ok,
+                             std::memory_order fail) noexcept {
+    return v_.compare_exchange_weak(expected, desired, ok, fail);
+  }
 
  private:
-  std::atomic<TaskState> v_{TaskState::Created};
+  std::atomic<T> v_{};
 };
+
+/// Atomic TaskState holder: most transitions (Ready/Running/Deferred) are
+/// informational relaxed stores, but the Finished store uses release (see
+/// Runtime::complete_task) so the lock-free prune path can acquire-load it
+/// and inherit the task body's writes. TaskState::Created is the zero
+/// value, so AtomicCell's default construction is correct.
+using TaskStateCell = AtomicCell<TaskState>;
+
+/// Spinlock guarding a Task's successor list + sealed flag (and reused by
+/// the arena free list and tracker shards): critical sections are a few
+/// instructions, so spinning beats a futex. The shared common/spin_lock.hpp
+/// primitive carries the bounded spin-then-yield backoff.
+using TaskSpinLock = atm::SpinLock;
 
 struct Task {
   TaskId id = 0;
@@ -55,10 +100,30 @@ struct Task {
   std::function<void()> fn;
   std::vector<DataAccess> accesses;
 
-  // --- dependence graph state (guarded by the Runtime graph mutex) ---
+  // --- dependence graph state ---
+  /// Successor tasks to release at completion. Guarded by succ_lock from the
+  /// moment the task is visible to other submitters until succ_sealed.
   std::vector<Task*> successors;
-  std::uint32_t pending_preds = 0;
+  /// Unreleased predecessors + 1 submission guard while registering. The
+  /// thread whose decrement reaches zero owns the push to the scheduler.
+  AtomicCell<std::uint32_t> pending_preds{0};
   TaskStateCell state;
+  TaskSpinLock succ_lock;
+  /// Set (under succ_lock) when completion swaps the successor list out; a
+  /// submitter finding it set treats the dependence as already satisfied.
+  bool succ_sealed = false;
+
+  // --- lifecycle (see TaskArena) ---
+  /// 1 in-flight reference + 1 per segment slot naming this task.
+  AtomicCell<std::uint32_t> refs{0};
+  /// Owning arena; nullptr for standalone tasks (tests, benches) which are
+  /// never recycled.
+  TaskArena* pool = nullptr;
+  /// Arena free-list link (valid only while retired).
+  Task* free_next = nullptr;
+  /// Intrusive link for the scheduler's lock-free MPSC inboxes (valid only
+  /// while the task sits in an inbox).
+  AtomicCell<Task*> inbox_next{nullptr};
 
   // --- ATM state (owned by the engine while the task is in flight) ---
   HashKey atm_key = 0;       ///< hash key over the sampled input bytes

@@ -43,6 +43,10 @@ double bits_double(std::uint64_t bits) {
   return d;
 }
 
+std::uint32_t byteswap32(std::uint32_t v) {
+  return (v >> 24) | ((v >> 8) & 0x0000ff00u) | ((v << 8) & 0x00ff0000u) | (v << 24);
+}
+
 void write_entry(Writer* w, const MemoEntry& e) {
   w->put(e.key.type_id);
   w->put(e.key.hash);
@@ -141,7 +145,7 @@ bool save(const std::string& path, const StoreImage& image, std::string* error) 
   Writer header;
   header.bytes.insert(header.bytes.end(), kMagic, kMagic + sizeof(kMagic));
   header.put(kFormatVersion);
-  header.put(std::uint32_t{0});
+  header.put(kEndianMarker);
   header.put(static_cast<std::uint64_t>(payload.bytes.size()));
   header.put(checksum);
   file.write(reinterpret_cast<const char*>(header.bytes.data()),
@@ -156,45 +160,93 @@ bool save(const std::string& path, const StoreImage& image, std::string* error) 
   return true;
 }
 
-std::optional<StoreImage> load(const std::string& path, std::string* error) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) {
-    set_error(error, "cannot open '" + path + "'");
-    return std::nullopt;
-  }
-  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(file)),
-                                  std::istreambuf_iterator<char>());
+namespace {
+
+/// Verify the container (magic, version, endianness, size, checksum) of a
+/// whole snapshot file already read into `bytes`; on success points
+/// *payload/*payload_size at the verified payload inside `bytes`.
+bool verify_container(const std::string& path, const std::vector<std::uint8_t>& bytes,
+                      const std::uint8_t** payload, std::size_t* payload_size,
+                      std::string* error) {
   constexpr std::size_t kHeaderBytes = sizeof(kMagic) + 4 + 4 + 8 + 8;
   if (bytes.size() < kHeaderBytes) {
     set_error(error, "'" + path + "' is too short to be a store snapshot");
-    return std::nullopt;
+    return false;
   }
   if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
     set_error(error, "'" + path + "' is not a store snapshot (bad magic)");
-    return std::nullopt;
+    return false;
   }
   Reader header{bytes.data() + sizeof(kMagic), bytes.size() - sizeof(kMagic)};
   const auto version = header.get<std::uint32_t>();
-  header.get<std::uint32_t>();  // reserved
-  const auto payload_size = header.get<std::uint64_t>();
+  const auto endian = header.get<std::uint32_t>();
+  const auto size = header.get<std::uint64_t>();
   const auto checksum = header.get<std::uint64_t>();
+  if (version == byteswap32(kFormatVersion) || endian == byteswap32(kEndianMarker)) {
+    set_error(error,
+              "'" + path +
+                  "' was written on a machine with the opposite byte order; "
+                  "store snapshots are native-endian and cannot be loaded "
+                  "across endianness — regenerate with --save-store on this "
+                  "machine");
+    return false;
+  }
   if (version != kFormatVersion) {
     set_error(error, "'" + path + "' has format version " + std::to_string(version) +
-                         ", expected " + std::to_string(kFormatVersion));
-    return std::nullopt;
+                         ", expected " + std::to_string(kFormatVersion) +
+                         " — regenerate with --save-store");
+    return false;
   }
-  if (payload_size != bytes.size() - kHeaderBytes) {
+  if (endian != kEndianMarker) {
+    set_error(error, "'" + path + "' has a corrupt endianness marker");
+    return false;
+  }
+  if (size != bytes.size() - kHeaderBytes) {
     set_error(error, "'" + path + "' payload size mismatch (truncated?)");
-    return std::nullopt;
+    return false;
   }
-  const std::uint8_t* payload = bytes.data() + kHeaderBytes;
-  if (hash_bytes(payload, static_cast<std::size_t>(payload_size), kChecksumSeed) !=
-      checksum) {
+  const std::uint8_t* data = bytes.data() + kHeaderBytes;
+  if (hash_bytes(data, static_cast<std::size_t>(size), kChecksumSeed) != checksum) {
     set_error(error, "'" + path + "' checksum mismatch (corrupted)");
+    return false;
+  }
+  *payload = data;
+  *payload_size = static_cast<std::size_t>(size);
+  return true;
+}
+
+bool read_whole_file(const std::string& path, std::vector<std::uint8_t>* bytes,
+                     std::string* error) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    set_error(error, "cannot open '" + path + "'");
+    return false;
+  }
+  bytes->assign(std::istreambuf_iterator<char>(file),
+                std::istreambuf_iterator<char>());
+  return true;
+}
+
+}  // namespace
+
+bool validate(const std::string& path, std::string* error) {
+  std::vector<std::uint8_t> bytes;
+  const std::uint8_t* payload = nullptr;
+  std::size_t payload_size = 0;
+  return read_whole_file(path, &bytes, error) &&
+         verify_container(path, bytes, &payload, &payload_size, error);
+}
+
+std::optional<StoreImage> load(const std::string& path, std::string* error) {
+  std::vector<std::uint8_t> bytes;
+  const std::uint8_t* payload = nullptr;
+  std::size_t payload_size = 0;
+  if (!read_whole_file(path, &bytes, error) ||
+      !verify_container(path, bytes, &payload, &payload_size, error)) {
     return std::nullopt;
   }
 
-  Reader r{payload, static_cast<std::size_t>(payload_size)};
+  Reader r{payload, payload_size};
   StoreImage image;
   const auto n_controllers = r.get<std::uint32_t>();
   for (std::uint32_t i = 0; r.ok && i < n_controllers; ++i) {

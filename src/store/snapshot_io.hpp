@@ -4,11 +4,13 @@
 // iteration 1, zero training executions on restart.
 //
 // On-disk layout (native-endian; snapshots are a same-machine warm-start
-// artifact, not an interchange format):
+// artifact, not an interchange format — which is exactly why the header
+// carries an endianness marker: a snapshot carried to a foreign-endian host
+// must be rejected with a clear diagnostic, not half-parsed into garbage):
 //
 //   bytes 0..7   magic "ATMSTOR\0"
 //   u32          format version (kFormatVersion)
-//   u32          reserved (0)
+//   u32          endianness marker (kEndianMarker, byte-order sentinel)
 //   u64          payload size in bytes
 //   u64          lookup3 checksum of the payload (seed kChecksumSeed)
 //   payload:
@@ -33,7 +35,11 @@ inline constexpr char kMagic[8] = {'A', 'T', 'M', 'S', 'T', 'O', 'R', '\0'};
 /// v2: hash keys for p < 1 switched from shuffled-order to gather-plan
 /// (layout-order) digests — v1 snapshots would load cleanly but never hit,
 /// so they are rejected instead (a cold start, reported to the user).
-inline constexpr std::uint32_t kFormatVersion = 2;
+/// v3: the previously-reserved header word became the endianness marker, so
+/// a snapshot moved across byte orders fails with a precise diagnostic.
+inline constexpr std::uint32_t kFormatVersion = 3;
+/// Written native; reads back byte-swapped on a foreign-endian host.
+inline constexpr std::uint32_t kEndianMarker = 0x01020304u;
 inline constexpr std::uint64_t kChecksumSeed = 0xa7151e57ULL;
 
 /// Per-task-type training-controller state worth persisting: the trained p
@@ -60,8 +66,15 @@ struct StoreImage {
 bool save(const std::string& path, const StoreImage& image, std::string* error = nullptr);
 
 /// Read and verify an image. std::nullopt + *error when the file is
-/// missing, truncated, version-mismatched, corrupted, or malformed.
+/// missing, truncated, version-mismatched, foreign-endian, corrupted, or
+/// malformed.
 [[nodiscard]] std::optional<StoreImage> load(const std::string& path,
                                              std::string* error = nullptr);
+
+/// Container-level verification only: magic, version, endianness marker,
+/// payload size and checksum — without materializing any entries. The
+/// cheap preflight for CLI tools that want to fail fast on a bad
+/// `--load-store` before the engine performs the real load.
+[[nodiscard]] bool validate(const std::string& path, std::string* error = nullptr);
 
 }  // namespace atm::store

@@ -193,19 +193,71 @@ TEST(HashKeyPlanned, StagingBoundariesDoNotChangeDigest) {
   EXPECT_EQ(compute_key(ta, plan, 3).key, compute_key(tb, plan, 3).key);
 }
 
-#ifndef NDEBUG
-TEST(HashKeyDeathTest, OutOfRangeOrderIndexAssertsInDebug) {
-  // An order built for a different (larger) layout must trip the Debug
-  // assert instead of quietly hashing fabricated zero bytes (key aliasing).
+// --- out-of-range gathers: clamp-and-count in every build type -------------
+// An order or plan built for a different (larger) layout must never read
+// out of bounds — not in Release either, where the old Debug-only assert
+// was compiled away and the gather silently hashed whatever lay past the
+// region. Every out-of-range position is clamped and reported in
+// KeyResult::oob (surfaced by the engine as the key_gather_oob stat).
+
+TEST(HashKeyOob, OutOfRangeOrderIndexesClampAndCount) {
   std::vector<double> a(4, 1.0);
   const auto t = make_task(a.data(), a.size(), nullptr, 0);
   std::vector<std::uint32_t> bogus_order(64);
   for (std::size_t i = 0; i < bogus_order.size(); ++i) {
     bogus_order[i] = static_cast<std::uint32_t>(64 + i);  // all out of range
   }
-  EXPECT_DEATH((void)compute_key(t, bogus_order, 0.5, 9), "out of range");
+  // p = 0.5 over 32 input bytes selects 16 indexes — all out of range here.
+  const KeyResult r = compute_key(t, bogus_order, 0.5, 9);
+  EXPECT_EQ(r.oob, 16u);
+  EXPECT_EQ(r.bytes_hashed, 16u);  // clamped bytes still feed the digest
+  // Deterministic: the clamped gather hashes the same bytes every time.
+  EXPECT_EQ(r.key, compute_key(t, bogus_order, 0.5, 9).key);
 }
-#endif
+
+TEST(HashKeyOob, InRangeOrderReportsZeroOob) {
+  std::vector<double> a(64, 2.5);
+  const auto t = make_task(a.data(), a.size(), nullptr, 0);
+  InputSampler sampler(true, 1);
+  const auto& order = sampler.order_for(0, InputLayout::from_task(t));
+  for (double p : {1.0, 0.5, 1.0 / 128}) {
+    EXPECT_EQ(compute_key(t, order, p, 9).oob, 0u) << p;
+  }
+}
+
+TEST(HashKeyOob, UndersizedOrderVectorCountsMissingIndexes) {
+  std::vector<double> a(64, 2.5);
+  const auto t = make_task(a.data(), a.size(), nullptr, 0);
+  std::vector<std::uint32_t> short_order = {0, 1, 2, 3};  // selection needs 256
+  const KeyResult r = compute_key(t, short_order, 0.5, 9);
+  EXPECT_EQ(r.oob, 256u - 4u);
+}
+
+TEST(HashKeyOob, PlanRunPastRegionTruncatesAndCounts) {
+  std::vector<double> a(8, 1.0);  // one 64-byte region
+  const auto t = make_task(a.data(), a.size(), nullptr, 0);
+  GatherPlan plan;
+  plan.runs.push_back({0, 32, 64});   // 32 bytes in range, 32 past the end
+  plan.runs.push_back({0, 128, 16});  // entirely past the end
+  plan.runs.push_back({3, 0, 8});     // region the task does not have
+  plan.bytes = 64 + 16 + 8;
+  const KeyResult r = compute_key(t, plan, 9);
+  EXPECT_EQ(r.oob, 32u + 16u + 8u);
+  EXPECT_EQ(r.bytes_hashed, 32u);
+  EXPECT_EQ(r.key, compute_key(t, plan, 9).key);  // deterministic
+}
+
+TEST(HashKeyOob, WellFormedPlanReportsZeroOob) {
+  std::vector<double> a(64, 2.5);
+  const auto t = make_task(a.data(), a.size(), nullptr, 0);
+  InputSampler sampler(true, 1);
+  const InputLayout layout = InputLayout::from_task(t);
+  for (double p : {1.0, 0.25, 1.0 / 128}) {
+    const KeyResult r = compute_key(t, sampler.plan_for(0, layout, p), 9);
+    EXPECT_EQ(r.oob, 0u) << p;
+    EXPECT_GT(r.bytes_hashed, 0u) << p;
+  }
+}
 
 class HashKeyPSweep : public ::testing::TestWithParam<int> {};
 

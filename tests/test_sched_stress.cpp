@@ -291,6 +291,145 @@ TEST(SchedStress, TraceLanesStayConsistentUnderStealing) {
   }
 }
 
+// --- MPSC inboxes (lock-free external submission path) ----------------------
+
+// Many producer threads hammer the lock-free inboxes while workers drain
+// them (private batch + deque spill + steals): every task is consumed
+// exactly once, none lost, none duplicated.
+TEST(StealScheduler, MpscInboxManyProducersExactlyOnce) {
+  constexpr unsigned kWorkers = 3;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5'000;
+  constexpr int kTasks = kProducers * kPerProducer;
+  auto sched = Scheduler::make(SchedPolicy::Steal, kWorkers, nullptr);
+  std::vector<Task> tasks(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    tasks[i].id = static_cast<TaskId>(i);  // spreads across inboxes
+  }
+  std::vector<std::atomic<std::uint8_t>> taken(kTasks);
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      while (Task* t = sched->pop_blocking(w)) {
+        const auto idx = static_cast<std::size_t>(t - tasks.data());
+        ASSERT_LT(idx, tasks.size());
+        ASSERT_EQ(taken[idx].exchange(1, std::memory_order_relaxed), 0)
+            << "task consumed twice";
+        consumed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // All producers push from non-worker lanes (external submissions).
+        sched->push(&tasks[p * kPerProducer + i], /*lane=*/kWorkers + p);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  while (consumed.load(std::memory_order_relaxed) < kTasks) {
+    std::this_thread::yield();
+  }
+  sched->shutdown();
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(consumed.load(), kTasks);
+  EXPECT_EQ(sched->depth(), 0u);
+}
+
+// --- Eager retirement under stealing -----------------------------------------
+
+// Randomized streamed DAG with NO intermediate taskwait: records retire and
+// recycle while thieves, the sharded tracker and submitters race. Per-buffer
+// logs must equal submission order, every task runs exactly once, and the
+// arena must end fully drained. (This is the suite's TSan money shot: a
+// use-after-retire is a data race on a recycled record.)
+class RetireUnderStealing : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RetireUnderStealing, StreamedDagExactlyOnceNoUseAfterRetire) {
+  std::mt19937_64 rng(GetParam());
+  constexpr int kBuffers = 16;
+  constexpr int kTasks = 8'000;
+
+  Runtime rt(steal_config(8));  // oversubscribed: steals + park/wake churn
+  const auto* type = rt.register_type({.name = "t", .memoizable = false, .atm = {}});
+
+  int buffers[kBuffers] = {};
+  std::vector<std::vector<int>> logs(kBuffers);
+  std::mutex log_mutex[kBuffers];
+  std::vector<int> expected[kBuffers];
+  std::vector<std::atomic<std::uint8_t>> hits(kTasks);
+
+  for (int i = 0; i < kTasks; ++i) {
+    // Mix single-buffer writers with occasional two-buffer tasks so
+    // successor lists and multi-segment footprints both churn.
+    const int b0 = static_cast<int>(rng() % kBuffers);
+    const bool dual = (rng() % 4) == 0;
+    const int b1 = dual ? static_cast<int>(rng() % kBuffers) : b0;
+    expected[b0].push_back(i);
+    if (b1 != b0) expected[b1].push_back(i);
+    std::vector<DataAccess> acc{inout(&buffers[b0], 1)};
+    if (b1 != b0) acc.push_back(inout(&buffers[b1], 1));
+    rt.submit(type,
+              [&, i, b0, b1] {
+                ASSERT_EQ(hits[i].exchange(1, std::memory_order_relaxed), 0)
+                    << "task " << i << " ran twice";
+                {
+                  std::lock_guard<std::mutex> lock(log_mutex[b0]);
+                  logs[b0].push_back(i);
+                }
+                if (b1 != b0) {
+                  std::lock_guard<std::mutex> lock(log_mutex[b1]);
+                  logs[b1].push_back(i);
+                }
+              },
+              std::move(acc));
+  }
+  rt.taskwait();
+
+  for (int b = 0; b < kBuffers; ++b) {
+    EXPECT_EQ(logs[b], expected[b]) << "buffer " << b;
+  }
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+  EXPECT_EQ(rt.counters().executed, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(rt.arena_stats().live_slots(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetireUnderStealing,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+// Nested submissions from workers while records recycle: children submitted
+// from inside tasks use worker-lane pushes and allocate from the same arena
+// the parents are being retired into.
+TEST(SchedStress, NestedSubmissionWithEagerRetirement) {
+  Runtime rt(steal_config(4));
+  const auto* type = rt.register_type({.name = "t", .memoizable = false, .atm = {}});
+  std::atomic<int> total{0};
+  int cells[256] = {};
+  for (int wave = 0; wave < 10; ++wave) {
+    for (int i = 0; i < 64; ++i) {
+      rt.submit(type,
+                [&, i] {
+                  total.fetch_add(1, std::memory_order_relaxed);
+                  for (int c = 0; c < 3; ++c) {
+                    rt.submit(type,
+                              [&] { total.fetch_add(1, std::memory_order_relaxed); },
+                              {inout(&cells[64 + (i * 3 + c) % 192], 1)});
+                  }
+                },
+                {inout(&cells[i], 1)});
+    }
+    rt.taskwait();
+    EXPECT_EQ(rt.arena_stats().live_slots(), 0u) << "wave " << wave;
+  }
+  EXPECT_EQ(total.load(), 10 * 64 * 4);
+}
+
 // --- Central/steal A/B determinism ------------------------------------------
 
 // Same app, same seed: the two schedulers must produce bit-identical program

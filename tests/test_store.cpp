@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "common/rng.hpp"
@@ -219,6 +220,13 @@ TEST(L2Store, ShardsSpreadEntriesAndClearResets) {
 
 class SnapshotIoTest : public ::testing::Test {
  protected:
+  void SetUp() override {
+    // One file per test case: ctest runs gtest cases as separate parallel
+    // processes in the same directory, so a shared fixture path races.
+    path_ = std::string("test_store_snapshot_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".atmstore";
+  }
   void TearDown() override { std::remove(path_.c_str()); }
 
   StoreImage sample_image() {
@@ -329,6 +337,108 @@ TEST_F(SnapshotIoTest, EmptyImageRoundtrips) {
   EXPECT_TRUE(loaded->controllers.empty());
   EXPECT_TRUE(loaded->l1.empty());
   EXPECT_TRUE(loaded->l2.empty());
+}
+
+// --- corrupted / mismatched snapshot matrix --------------------------------
+// A bad warm-start artifact must fail loudly with a precise diagnostic and
+// must never partially load (load() parses and verifies the whole image
+// before handing anything back).
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Byte-swap a little-endian u32 at `off` in place.
+void bswap32_at(std::vector<std::uint8_t>& bytes, std::size_t off) {
+  std::swap(bytes[off], bytes[off + 3]);
+  std::swap(bytes[off + 1], bytes[off + 2]);
+}
+
+TEST_F(SnapshotIoTest, TruncationMatrixEveryPrefixFails) {
+  ASSERT_TRUE(save(path_, sample_image()));
+  const std::vector<std::uint8_t> original = read_file(path_);
+  ASSERT_GT(original.size(), 40u);
+  // Every strict prefix must fail: header cuts, payload cuts, off-by-one.
+  const std::size_t cuts[] = {0,  1,  7,  8,  11, 15, 23, 31,
+                              32, 33, original.size() / 2, original.size() - 1};
+  for (const std::size_t cut : cuts) {
+    if (cut >= original.size()) continue;
+    write_file(path_, {original.begin(), original.begin() + static_cast<long>(cut)});
+    std::string error;
+    EXPECT_FALSE(load(path_, &error).has_value()) << "cut at " << cut;
+    EXPECT_FALSE(error.empty()) << "cut at " << cut;
+  }
+}
+
+TEST_F(SnapshotIoTest, BitFlipMatrixPayloadFailsChecksum) {
+  ASSERT_TRUE(save(path_, sample_image()));
+  const std::vector<std::uint8_t> original = read_file(path_);
+  constexpr std::size_t kHeaderBytes = 32;
+  ASSERT_GT(original.size(), kHeaderBytes);
+  // Flip a byte at several payload positions: first, interior, last.
+  const std::size_t payload = original.size() - kHeaderBytes;
+  for (const std::size_t rel : {std::size_t{0}, payload / 3, payload - 1}) {
+    auto corrupt = original;
+    corrupt[kHeaderBytes + rel] ^= 0x01;
+    write_file(path_, corrupt);
+    std::string error;
+    EXPECT_FALSE(load(path_, &error).has_value()) << "flip at +" << rel;
+    EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+  }
+}
+
+TEST_F(SnapshotIoTest, ForeignEndiannessFailsWithClearDiagnostic) {
+  ASSERT_TRUE(save(path_, sample_image()));
+  std::vector<std::uint8_t> foreign = read_file(path_);
+  // Emulate a snapshot written on an opposite-endian machine: the version
+  // and endianness marker words read back byte-swapped.
+  bswap32_at(foreign, 8);   // version
+  bswap32_at(foreign, 12);  // endianness marker
+  write_file(path_, foreign);
+  std::string error;
+  EXPECT_FALSE(load(path_, &error).has_value());
+  EXPECT_NE(error.find("byte order"), std::string::npos) << error;
+
+  // A corrupt (neither native nor swapped) marker is also rejected.
+  ASSERT_TRUE(save(path_, sample_image()));
+  std::vector<std::uint8_t> corrupt = read_file(path_);
+  corrupt[12] ^= 0x55;
+  write_file(path_, corrupt);
+  EXPECT_FALSE(load(path_, &error).has_value());
+  EXPECT_NE(error.find("endianness marker"), std::string::npos) << error;
+}
+
+TEST_F(SnapshotIoTest, ValidateMatchesLoadVerdicts) {
+  // validate() is the cheap container-only preflight (atm_run --load-store):
+  // it must accept what load() accepts and reject what load() rejects.
+  ASSERT_TRUE(save(path_, sample_image()));
+  std::string error;
+  EXPECT_TRUE(validate(path_, &error)) << error;
+
+  std::vector<std::uint8_t> corrupt = read_file(path_);
+  corrupt.back() ^= 0xFF;
+  write_file(path_, corrupt);
+  EXPECT_FALSE(validate(path_, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+  EXPECT_FALSE(validate("no_such_file.atmstore", &error));
+}
+
+TEST_F(SnapshotIoTest, WrongVersionDiagnosticNamesBothVersions) {
+  ASSERT_TRUE(save(path_, sample_image()));
+  std::vector<std::uint8_t> old = read_file(path_);
+  old[8] = static_cast<std::uint8_t>(kFormatVersion - 1);  // e.g. a v2 file
+  write_file(path_, old);
+  std::string error;
+  EXPECT_FALSE(load(path_, &error).has_value());
+  EXPECT_NE(error.find(std::to_string(kFormatVersion - 1)), std::string::npos) << error;
+  EXPECT_NE(error.find(std::to_string(kFormatVersion)), std::string::npos) << error;
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 //   --p=F                  fixed-p value for --mode=fixed   (default: 1.0)
 //   --threads=N            worker threads                   (default: 2)
 //   --sched=S              steal | central ready-task scheduler (default: steal)
+//   --graph-shards=K       2^K dependence-tracker shards on the submit
+//                          path (default: 4; 0 = single lock)
 //   --preset=P             test | bench | paper             (default: bench)
 //   --no-ikt               disable the In-flight Key Table
 //   --no-type-aware        uniform byte shuffling (§III-C off)
@@ -19,7 +21,9 @@
 //   --l2-shards=K          2^K L2 shards                    (default: 4)
 //   --l2-compress          RLE-compress demoted snapshots
 //   --save-store=PATH      persist THT + L2 + p-controllers after the run
-//   --load-store=PATH      warm-start from a saved store (zero training)
+//   --load-store=PATH      warm-start from a saved store (zero training);
+//                          a missing/corrupt/version- or endianness-
+//                          mismatched snapshot aborts the run (exit 2)
 //   --trace                print the per-core ASCII timeline
 //   --baseline             also run mode=off and report speedup/correctness
 #include <cstdio>
@@ -29,6 +33,7 @@
 
 #include "apps/app_registry.hpp"
 #include "common/table.hpp"
+#include "store/snapshot_io.hpp"
 
 namespace {
 
@@ -60,7 +65,7 @@ bool parse_flag(const char* arg, const char* name, const char** value) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [app] [--mode=off|static|dynamic|fixed] [--p=F]\n"
-               "          [--threads=N] [--sched=steal|central]\n"
+               "          [--threads=N] [--sched=steal|central] [--graph-shards=K]\n"
                "          [--preset=test|bench|paper] [--no-ikt]\n"
                "          [--no-type-aware] [--verify-full-inputs] [--lru]\n"
                "          [--n=K] [--m=K] [--l2] [--l2-budget-mb=K] [--l2-shards=K]\n"
@@ -92,6 +97,9 @@ bool parse(int argc, char** argv, Options* opts) {
       if (s == "steal") opts->config.sched = rt::SchedPolicy::Steal;
       else if (s == "central") opts->config.sched = rt::SchedPolicy::Central;
       else return false;
+    } else if (parse_flag(arg, "--graph-shards", &value)) {
+      opts->config.graph_log2_shards =
+          static_cast<unsigned>(std::strtoul(value, nullptr, 10));
     } else if (parse_flag(arg, "--preset", &value)) {
       const std::string p = value;
       if (p == "test") opts->preset = Preset::Test;
@@ -185,6 +193,22 @@ void run_one(const App& app, const Options& opts, TablePrinter* table) {
 int main(int argc, char** argv) {
   Options opts;
   if (!parse(argc, argv, &opts)) return usage(argv[0]);
+
+  if (!opts.config.load_store_path.empty()) {
+    // Validate the snapshot container up front (magic/version/endianness/
+    // checksum — no entry materialization): a missing, truncated,
+    // corrupted, version- or endianness-mismatched store must fail the run
+    // with a clear diagnostic, not silently degrade into a cold start.
+    // The engine performs the real load inside the run; the preflight
+    // deliberately re-reads the file — checksumming here is what turns a
+    // corrupted payload into exit 2 instead of the engine's warn-and-
+    // continue, and the warm-start artifact is small relative to a run.
+    std::string err;
+    if (!store::validate(opts.config.load_store_path, &err)) {
+      std::fprintf(stderr, "atm_run: --load-store failed: %s\n", err.c_str());
+      return 2;
+    }
+  }
 
   std::vector<std::string> header{"Benchmark", "Mode",     "Wall",      "Reuse",
                                   "Tasks",     "THT hits", "IKT hits",  "L2 h/d",
