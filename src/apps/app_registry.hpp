@@ -37,6 +37,10 @@ struct RunConfig {
   /// runtime_config(). Defaults match RuntimeConfig.
   unsigned graph_log2_shards = 4;
   unsigned arena_block_tasks = 256;
+  /// Helping barrier (PR 5): the thread at a taskwait drains/steals tasks
+  /// instead of parking. Off = the paper's parking barrier
+  /// (`atm_run --taskwait=park`), kept for wave-boundary A/B runs.
+  bool help_taskwait = true;
 
   // --- tiered memo store (src/store/) ---
   bool l2_enabled = false;        ///< byte-budgeted capacity tier behind the THT
@@ -69,6 +73,10 @@ struct RunResult {
   std::size_t app_memory_bytes = 0; ///< application footprint (Table III denominator)
   std::size_t atm_memory_bytes = 0; ///< ATM structures (Table III numerator)
   std::size_t task_input_bytes = 0; ///< memoized task's input size (Table I)
+
+  /// Scheduler observability (adaptive inbox batch cap, steal misses) read
+  /// from the runtime before teardown.
+  rt::SchedulerStats sched;
 
   /// Trace data (only when RunConfig::tracing): per-lane summaries etc. are
   /// read from the runtime before teardown and stored here.

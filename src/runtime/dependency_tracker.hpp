@@ -9,6 +9,19 @@
 // keyed by start address and splits them on demand, so irregular accesses
 // (not just the block-aligned ones of the paper's apps) are handled exactly.
 //
+// PR 5: the tracker is a two-level dependence index. Level 1 is an
+// open-addressed hash table keyed by the exact (begin, length) of a segment;
+// it services the dominant "same region re-submitted every iteration" case
+// (stencil blocks, kmeans center reads, storm cells) in O(1) without walking
+// the interval tree. Level 2 is the interval tree (plus the ascending append
+// log), reached only when an access does not exactly match a live segment —
+// partial overlaps, splits, and first-touch registrations. The index entries
+// point at tree nodes (std::map nodes are address-stable), and every tree
+// emplace/erase keeps the two levels coherent. Barrier resets keep the
+// segment *geometry* (and the exact index) while releasing the task
+// references, so iterative apps re-enter steady state at O(1) per access on
+// the very first post-barrier wave.
+//
 // Lifetime: every segment slot naming a task (last writer or reader set)
 // holds one reference on it (task_retain/task_release), so the pointers in
 // the map stay dereferenceable even after the task finished and was
@@ -36,6 +49,24 @@
 
 namespace atm::rt {
 
+/// Observability counters for the two-level index (monotonic; aggregated
+/// across shards by ShardedDependencyTracker::stats()). `exact_hits` vs
+/// `tree_fallbacks` is the headline ratio: iterative apps should be
+/// exact-dominated; `prune_scans` counts amortized prune sweeps so
+/// prune-scan pathology is visible without a profiler.
+struct DepIndexStats {
+  std::uint64_t exact_hits = 0;      ///< accesses served by the (begin,len) table
+  std::uint64_t tree_fallbacks = 0;  ///< accesses that walked the interval tree
+  std::uint64_t prune_scans = 0;     ///< prune_finished() sweeps executed
+
+  DepIndexStats& operator+=(const DepIndexStats& o) noexcept {
+    exact_hits += o.exact_hits;
+    tree_fallbacks += o.tree_fallbacks;
+    prune_scans += o.prune_scans;
+    return *this;
+  }
+};
+
 class DependencyTracker {
  public:
   ~DependencyTracker() { clear(); }
@@ -58,6 +89,13 @@ class DependencyTracker {
   /// dependence would be on a finished task anyway).
   void clear() noexcept;
 
+  /// Barrier reset that keeps the geometry: release every task reference
+  /// (all tasks are finished at a barrier) but retain the segments and the
+  /// exact index, so the next wave's identical regions are O(1) exact hits
+  /// instead of fresh inserts. Retained segments reference no tasks, which
+  /// makes them ordinary prune fodder if the address pattern moves on.
+  void reset_task_refs() noexcept;
+
   /// Drop segments whose writer and readers have all Finished: they can
   /// never contribute a dependence again. Returns the surviving count.
   std::size_t prune_finished() noexcept;
@@ -66,6 +104,8 @@ class DependencyTracker {
   [[nodiscard]] std::size_t segment_count() const noexcept {
     return segments_.size() + log_.size();
   }
+
+  [[nodiscard]] const DepIndexStats& stats() const noexcept { return stats_; }
 
  private:
   struct Segment {
@@ -79,6 +119,39 @@ class DependencyTracker {
   /// in streaming workloads, and the pool recycles nodes without a
   /// malloc/free round trip (and with better locality than the heap).
   using SegMap = std::pmr::map<std::uintptr_t, Segment>;
+
+  /// One slot of the exact-interval side table. `seg == nullptr` marks an
+  /// empty slot; live slots point into `segments_` (node addresses are
+  /// stable), keyed by the segment's exact (begin, length).
+  struct ExactSlot {
+    std::uintptr_t begin = 0;
+    std::uintptr_t len = 0;
+    Segment* seg = nullptr;
+  };
+
+  [[nodiscard]] static std::size_t exact_hash(std::uintptr_t begin,
+                                              std::uintptr_t len) noexcept {
+    // splitmix64-style avalanche over both key words; the table mask picks
+    // the low bits, so the multiply must diffuse begin's high entropy down.
+    std::uint64_t x = static_cast<std::uint64_t>(begin) ^
+                      (static_cast<std::uint64_t>(len) * 0x9e3779b97f4a7c15ull);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    return static_cast<std::size_t>(x);
+  }
+
+  [[nodiscard]] Segment* exact_find(std::uintptr_t begin, std::uintptr_t len) noexcept;
+  void exact_insert(Segment* seg);
+  void exact_erase(const Segment& seg) noexcept;
+  void exact_grow();
+  void exact_reserve(std::size_t live);
+  void exact_rehash(std::size_t cap);
+
+  /// Emplace into the tree AND the exact index (every tree segment is
+  /// indexed; log entries are not — they fold in via merge_log).
+  SegMap::iterator tree_emplace(SegMap::iterator hint, std::uintptr_t begin,
+                                Segment&& seg);
 
   /// Split the segment at `at` (strictly inside it); returns the iterator to
   /// the right half, which starts at `at`. Both halves keep referencing the
@@ -101,13 +174,19 @@ class DependencyTracker {
   /// Staging run for the fast path: strictly ascending, mutually disjoint
   /// segments that all lie at or beyond every tree segment. The dominant
   /// ascending/fresh-address submission patterns only ever push_back here
-  /// (and taskwait clears a flat vector, not a tree); the log folds into
+  /// (and a full clear drops a flat vector, not a tree); the log folds into
   /// the tree the first time an access actually needs an overlap query.
   std::vector<Segment> log_;
+  /// Exact-interval side table: open-addressed, linear probing,
+  /// backward-shift deletion (no tombstones). Capacity is a power of two;
+  /// empty until the first tree emplace.
+  std::vector<ExactSlot> exact_;
+  std::size_t exact_live_ = 0;
   /// Upper bound on every segment's end address, tree and log (conservative:
   /// never shrinks outside clear()). An access starting at or past it cannot
   /// overlap anything — the O(1) append fast path.
   std::uintptr_t max_end_ = 0;
+  DepIndexStats stats_;
 };
 
 /// Sharded front of the tracker: the submit-path lock is split by address
@@ -120,6 +199,8 @@ class DependencyTracker {
 /// shard set of the whole footprint and locks it in ascending index order —
 /// classic two-phase locking, so two tasks overlapping in several shards
 /// can never observe each other in opposite orders (no dependence cycles).
+/// The common single-access single-granule task shape skips the footprint
+/// machinery entirely and locks its one shard directly.
 class ShardedDependencyTracker {
  public:
   /// Up to 64 shards (the footprint set is a 64-bit mask). The default
@@ -135,6 +216,24 @@ class ShardedDependencyTracker {
   void register_task(Task& task, DepVisitor&& visit) {
     thread_local std::vector<Task*> deps;
     deps.clear();
+    // Fast path: one access inside one granule (the dominant task shape in
+    // fine-grained storms) locks its single shard directly — no footprint
+    // mask, no bit loops, no granule clipping.
+    if (task.accesses.size() == 1) {
+      const DataAccess& access = task.accesses.front();
+      const std::uintptr_t s = access.begin();
+      const std::uintptr_t e = access.end();
+      if (s != e && ((s ^ (e - 1)) >> region_shift_) == 0) {
+        Shard& shard = shards_[shard_index(s)];
+        shard.mutex.lock();
+        shard.tracker.register_range(task, access.mode, s, e, deps);
+        for (Task* dep : deps) visit(dep);
+        maybe_prune_shard(shard);
+        shard.mutex.unlock();
+        for (Task* dep : deps) task_release(dep);
+        return;
+      }
+    }
     const std::uint64_t footprint = footprint_mask(task);
     lock_mask(footprint);
     for (const DataAccess& access : task.accesses) {
@@ -156,10 +255,19 @@ class ShardedDependencyTracker {
     for (Task* dep : deps) task_release(dep);
   }
 
-  /// Barrier reset: clears every shard (releasing all segment references).
+  /// Barrier reset: every shard releases its task references but keeps its
+  /// segment geometry + exact index (so post-barrier waves re-submitting
+  /// the same regions hit the O(1) exact table). Shards whose maps grew
+  /// past the retention cap are fully cleared instead — retention is a
+  /// reuse accelerator, not a leak.
+  void reset_after_barrier() noexcept;
+
+  /// Full reset: clears every shard (releasing all segment references and
+  /// dropping all geometry). Used by teardown and tests.
   void clear() noexcept;
 
   [[nodiscard]] std::size_t segment_count() const;
+  [[nodiscard]] DepIndexStats stats() const;
   [[nodiscard]] unsigned shard_count() const noexcept {
     return static_cast<unsigned>(shard_count_);
   }
@@ -187,6 +295,7 @@ class ShardedDependencyTracker {
   void lock_mask(std::uint64_t mask) noexcept;
   void unlock_mask(std::uint64_t mask) noexcept;
   void maybe_prune_locked(std::uint64_t mask) noexcept;
+  static void maybe_prune_shard(Shard& shard) noexcept;
 
   unsigned log2_shards_;
   unsigned region_shift_;

@@ -31,6 +31,24 @@ Task* ReadyQueue::pop_blocking() {
   return task;
 }
 
+Task* ReadyQueue::pop_for_helper(const std::function<bool()>& quit) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return shutdown_ || !queue_.empty() || quit(); });
+  if (queue_.empty()) return nullptr;
+  Task* task = queue_.front();
+  queue_.pop_front();
+  depth_.store(queue_.size(), std::memory_order_relaxed);
+  sample_locked(queue_.size());
+  return task;
+}
+
+void ReadyQueue::notify_all() {
+  // Empty critical section: orders the notify against a waiter that passed
+  // its predicate check but has not yet suspended.
+  { std::lock_guard<std::mutex> lock(mutex_); }
+  cv_.notify_all();
+}
+
 Task* ReadyQueue::try_pop() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (queue_.empty()) return nullptr;

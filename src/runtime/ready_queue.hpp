@@ -7,6 +7,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 
 #include "runtime/task.hpp"
@@ -24,6 +25,14 @@ class ReadyQueue {
   /// Block until a task is available or shutdown() is called.
   /// Returns nullptr on shutdown with an empty queue.
   Task* pop_blocking();
+
+  /// Helping-barrier pop: like pop_blocking, but also returns nullptr once
+  /// `quit()` is true. A caller whose quit condition flips asynchronously
+  /// must arrange a notify_all() so the wait re-evaluates.
+  Task* pop_for_helper(const std::function<bool()>& quit);
+
+  /// Wake every waiter so predicates (shutdown, helper quit) re-evaluate.
+  void notify_all();
 
   /// Non-blocking pop; nullptr when empty.
   Task* try_pop();

@@ -7,15 +7,25 @@
 namespace atm::rt {
 
 namespace {
-/// Lane id of the calling thread: workers set this on startup; any other
-/// thread (the master, test threads) maps to the master lane.
+/// Lane id of the calling thread: workers set this on startup; the master
+/// sets it to the helper lane while it helps at a taskwait; any other
+/// thread (the master outside taskwait, test threads) maps to the master
+/// lane for tracing and to the external lane for scheduler pushes.
 thread_local std::ptrdiff_t tls_lane = -1;
+
+/// Scheduler push lane of the calling thread: a worker (or the helping
+/// master) pushes into its own slot; everyone else submits externally.
+[[nodiscard]] std::size_t tls_push_lane() noexcept {
+  return tls_lane >= 0 ? static_cast<std::size_t>(tls_lane)
+                       : ~std::size_t{0};
+}
 }  // namespace
 
 Runtime::Runtime(RuntimeConfig config)
     : num_threads_(config.num_threads != 0 ? config.num_threads
                                            : std::max(1u, std::thread::hardware_concurrency())),
       sched_policy_(config.sched),
+      help_taskwait_(config.help_taskwait),
       tracer_(std::make_unique<TraceRecorder>(num_threads_ + 1, config.enable_tracing)),
       sched_(Scheduler::make(config.sched, num_threads_, tracer_.get())),
       arena_(config.arena_block_tasks),
@@ -93,24 +103,71 @@ void Runtime::submit(const TaskType* type, std::function<void()> fn,
   if (links == 0) {
     task->pending_preds.store(0, std::memory_order_relaxed);
     task->state = TaskState::Ready;
-    sched_->push(task, lane);
+    sched_->push(task, tls_push_lane());
   } else if (task->pending_preds.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     task->state = TaskState::Ready;
-    sched_->push(task, lane);
+    sched_->push(task, tls_push_lane());
   }
 }
 
 void Runtime::taskwait() {
-  {
-    std::unique_lock<std::mutex> lock(wait_mutex_);
-    all_done_cv_.wait(lock, [&] {
-      return pending_tasks_.load(std::memory_order_acquire) == 0;
-    });
+  if (pending_tasks_.load(std::memory_order_acquire) != 0) {
+    // Helping barrier: claim the scheduler's single helper slot and drain/
+    // steal tasks instead of parking. A second concurrent caller (or a
+    // runtime configured with --taskwait=park) falls back to the condvar.
+    if (help_taskwait_ && !helper_active_.exchange(true, std::memory_order_acq_rel)) {
+      help_until_done();
+      helper_active_.store(false, std::memory_order_release);
+    } else {
+      std::unique_lock<std::mutex> lock(wait_mutex_);
+      all_done_cv_.wait(lock, [&] {
+        return pending_tasks_.load(std::memory_order_acquire) == 0;
+      });
+    }
   }
   // Barrier semantics: every submitted task finished; future tasks can only
-  // depend on finished work, so the segment map can go — dropping the last
-  // references that keep finished records out of the arena free list.
-  tracker_.clear();
+  // depend on finished work, so every task reference the segment slots held
+  // goes now — deterministically draining the arena. The segment geometry
+  // itself (and the exact-interval index over it) is retained so the next
+  // wave's identical regions are O(1) exact hits instead of fresh inserts;
+  // ballooned shards clear outright (see reset_after_barrier). A barrier
+  // with no submissions since the last one is a no-op: the previous reset
+  // already released everything, so the walk is skipped (back-to-back
+  // taskwaits and the destructor's implicit one stay O(1)). wait_mutex_
+  // serializes the check-and-reset so a second concurrent caller both
+  // avoids a data race on the watermark and returns only after a completed
+  // reset (it observes the winner's watermark and skips).
+  std::lock_guard<std::mutex> lock(wait_mutex_);
+  const std::uint64_t submitted = counters_.submitted.load(std::memory_order_relaxed);
+  if (submitted != last_reset_submitted_) {
+    tracker_.reset_after_barrier();
+    last_reset_submitted_ = submitted;
+  }
+}
+
+void Runtime::help_until_done() {
+  // Transient worker: successor pushes and nested submissions made while a
+  // helped task runs land in the scheduler's helper slot (LIFO-local, and
+  // stealable by the real workers), exactly as on a worker lane.
+  const std::size_t lane = tracer_->master_lane();
+  const std::ptrdiff_t prev_lane = tls_lane;
+  tls_lane = static_cast<std::ptrdiff_t>(num_threads_);
+  const auto quit = [this] {
+    return pending_tasks_.load(std::memory_order_acquire) == 0;
+  };
+  for (;;) {
+    Task* task = nullptr;
+    {
+      TraceScope idle(tracer_.get(), lane, TraceState::Idle);
+      task = sched_->helper_pop(quit);
+    }
+    // nullptr means the quit condition held: every pending task completed
+    // (the final completion's notify_helpers() is what wakes a parked
+    // helper — exactly-once, no timeout polling).
+    if (task == nullptr) break;
+    process_task(task, lane);
+  }
+  tls_lane = prev_lane;
 }
 
 void Runtime::worker_main(unsigned worker_id) {
@@ -192,7 +249,7 @@ void Runtime::complete_task(Task& task) {
   // the record is recycled.
   task.fn = nullptr;
 
-  const std::size_t lane = current_lane();
+  const std::size_t lane = tls_push_lane();
   for (Task* succ : successors) {
     // Successors still hold our +1 in pending_preds, so they are live; the
     // thread whose decrement reaches zero owns the push (exactly-once wakeup).
@@ -210,10 +267,15 @@ void Runtime::complete_task(Task& task) {
   task_release(&task);
 
   if (pending_tasks_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    // The lock orders the notify against a waiter that passed its predicate
-    // check but has not yet suspended.
-    std::lock_guard<std::mutex> lock(wait_mutex_);
-    all_done_cv_.notify_all();
+    {
+      // The lock orders the notify against a waiter that passed its
+      // predicate check but has not yet suspended.
+      std::lock_guard<std::mutex> lock(wait_mutex_);
+      all_done_cv_.notify_all();
+    }
+    // A helping master parks inside the scheduler's lot, not on the condvar
+    // above: flip its quit condition awake too.
+    sched_->notify_helpers();
   }
 }
 

@@ -12,6 +12,13 @@
 // recycled as soon as its segment slots are overwritten or pruned, not at
 // the next taskwait. Counters are plain atomics; the only mutex left on the
 // submit/complete path is the (sharded, mostly uncontended) tracker lock.
+//
+// PR 5 submit->wave pipeline: the tracker is a two-level dependence index
+// (exact-interval hash table over the interval tree, with barrier-retained
+// geometry — see dependency_tracker.hpp), and taskwait() is a helping
+// barrier: the waiting thread claims the scheduler's helper lane and
+// drains/steals tasks instead of parking, sharing the workers' park/wake
+// and shutdown protocol (see scheduler.hpp).
 #pragma once
 
 #include <atomic>
@@ -78,6 +85,11 @@ struct RuntimeConfig {
   unsigned graph_log2_shards = 4;
   /// Task records carved per arena slab.
   unsigned arena_block_tasks = 256;
+  /// Helping barrier: the thread at a taskwait registers as a transient
+  /// worker and drains/steals tasks instead of parking on a condvar —
+  /// wave-boundary latency on few-core hosts is the payoff. Off = the
+  /// paper's parking barrier, kept for A/B (`atm_run --taskwait=park`).
+  bool help_taskwait = true;
 };
 
 /// Monotonic counters; cheap enough to keep always-on.
@@ -124,8 +136,15 @@ class Runtime {
   /// Block until every submitted task completed, then reset the dependence
   /// bookkeeping (the THT inside an attached engine persists; reuse across
   /// taskwait barriers is exactly what the paper's iterative apps need).
+  /// With help_taskwait (default) the calling thread becomes a transient
+  /// worker — draining and stealing ready tasks through the scheduler's
+  /// helper lane — and only parks when nothing is acquirable; otherwise it
+  /// parks on a condvar for the whole wait. The barrier reset keeps the
+  /// dependence geometry (exact-interval index) while releasing every task
+  /// reference, so the next wave's identical regions are O(1) hits.
   /// Must not race with submissions from other threads (same contract as
-  /// OmpSs: the thread at the barrier owns the task region).
+  /// OmpSs: the thread at the barrier owns the task region); a second
+  /// concurrent caller falls back to the parking path.
   void taskwait();
 
   /// Used by the memoization hook: complete `task` whose outputs were
@@ -153,19 +172,35 @@ class Runtime {
     return tracker_.segment_count();
   }
 
+  /// Two-level dependence-index counters (exact hits / tree fallbacks /
+  /// prune scans) aggregated across shards.
+  [[nodiscard]] DepIndexStats dep_index_stats() const { return tracker_.stats(); }
+
+  /// Scheduler observability (adaptive batch cap, steal misses, depth).
+  [[nodiscard]] SchedulerStats sched_stats() const { return sched_->stats(); }
+
+  [[nodiscard]] bool helping_taskwait() const noexcept { return help_taskwait_; }
+
  private:
   void worker_main(unsigned worker_id);
   void process_task(Task* task, std::size_t lane);
   void complete_task(Task& task);
+  /// Serve as a transient worker until every pending task completed.
+  void help_until_done();
 
   unsigned num_threads_;
   SchedPolicy sched_policy_;
+  bool help_taskwait_;
   std::unique_ptr<TraceRecorder> tracer_;
   std::unique_ptr<Scheduler> sched_;
 
   TaskArena arena_;
   ShardedDependencyTracker tracker_;
   // (both sized from RuntimeConfig in the constructor)
+  /// counters_.submitted at the last barrier reset: a taskwait that saw no
+  /// submissions since then skips the (idempotent) reset walk entirely.
+  /// Guarded by wait_mutex_ (concurrent taskwait callers serialize there).
+  std::uint64_t last_reset_submitted_ = 0;
   std::atomic<std::uint64_t> pending_tasks_{0};
   std::mutex wait_mutex_;
   std::condition_variable all_done_cv_;
@@ -184,6 +219,9 @@ class Runtime {
   MemoizationHook* hook_ = nullptr;
   std::vector<std::thread> workers_;
   std::atomic<bool> started_{false};
+  /// The scheduler has exactly one helper slot: the first taskwait caller
+  /// claims it; any concurrent caller parks on the condvar instead.
+  std::atomic<bool> helper_active_{false};
 };
 
 }  // namespace atm::rt

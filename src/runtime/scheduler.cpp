@@ -13,6 +13,10 @@ namespace {
 /// keeping it small matters on oversubscribed machines where spinning steals
 /// cycles from the thread that would produce the work.
 constexpr int kSpinRounds = 64;
+/// The helper (master at a taskwait) spins far less before parking: it is
+/// an opportunistic extra lane, and on few-core hosts every cycle it burns
+/// spinning is a cycle the workers — who own the backlog — do not get.
+constexpr int kHelperSpinRounds = 8;
 }  // namespace
 
 std::unique_ptr<Scheduler> Scheduler::make(SchedPolicy policy, unsigned workers,
@@ -25,12 +29,14 @@ std::unique_ptr<Scheduler> Scheduler::make(SchedPolicy policy, unsigned workers,
 }
 
 StealScheduler::StealScheduler(unsigned workers, TraceRecorder* tracer)
-    : workers_(workers > 0 ? workers : 1), tracer_(tracer) {
-  slots_.reserve(workers_);
-  for (unsigned w = 0; w < workers_; ++w) {
+    : workers_(workers > 0 ? workers : 1),
+      inbox_mask_((workers_ & (workers_ - 1)) == 0 ? workers_ - 1 : 0),
+      tracer_(tracer) {
+  slots_.reserve(lane_count());
+  for (unsigned w = 0; w < lane_count(); ++w) {
     auto slot = std::make_unique<WorkerSlot>();
-    // Stagger the steal sweep so idle workers do not all mob victim 0.
-    slot->victim_cursor = w + 1;
+    // Stagger the steal sweep so idle lanes do not all mob victim 0.
+    slot->victim_cursor = (w + 1) % lane_count();
     slots_.push_back(std::move(slot));
   }
 }
@@ -39,10 +45,10 @@ void StealScheduler::note_push() {
   if (tracer_ != nullptr && tracer_->enabled()) {
     tracer_->sample_depth(now_ns(), items_.load(std::memory_order_relaxed));
   }
-  // seq_cst pairs with the sleeper registration in pop_blocking: either this
-  // load sees the registered sleeper (and we wake it), or the sleeper's
-  // predicate load sees the item increment made in push() (so it never
-  // sleeps).
+  // seq_cst pairs with the sleeper registration in pop_blocking/helper_pop:
+  // either this load sees the registered sleeper (and we wake it), or the
+  // sleeper's predicate load sees the item increment made in push() (so it
+  // never sleeps).
   if (sleepers_.load(std::memory_order_seq_cst) > 0) {
     // The lock orders the notify against a sleeper that passed its predicate
     // check but has not yet suspended.
@@ -65,15 +71,23 @@ void StealScheduler::push(Task* task, std::size_t lane) {
   // counter must never transiently underflow — it feeds depth() and the
   // Figure-8 ready-depth samples.
   items_.fetch_add(1, std::memory_order_seq_cst);
-  if (lane < workers_) {
-    // Owner push: the worker making a successor ready keeps it local (LIFO,
+  if (lane < lane_count()) {
+    // Owner push: the lane making a successor ready keeps it local (LIFO,
     // still warm in its cache); thieves pick it up from the top if not.
+    // Lane workers_ is the helper — the master acting as a transient worker
+    // during a taskwait; its deque is in every worker's steal sweep.
     slots_[lane]->deque.push(task);
   } else {
-    // External submission (master or any non-worker thread): spread across
-    // inboxes by task id (dense in submission order — round-robin without a
-    // shared cursor). Lock-free MPSC push: one CAS, no mutex anywhere.
-    WorkerSlot& slot = *slots_[task->id % workers_];
+    // External submission (master outside taskwait or any non-worker
+    // thread): spread across the worker inboxes by task id (dense in
+    // submission order — round-robin without a shared cursor). Lock-free
+    // MPSC push: one CAS, no mutex anywhere. The helper slot gets no inbox
+    // traffic: it is not always manned. Power-of-two pools (the common
+    // sizes) mask instead of dividing — the modulo sits on every external
+    // submit.
+    const std::size_t victim = inbox_mask_ != 0 ? (task->id & inbox_mask_)
+                                                : (task->id % workers_);
+    WorkerSlot& slot = *slots_[victim];
     Task* head = slot.inbox_head.load(std::memory_order_relaxed);
     do {
       task->inbox_next.store(head, std::memory_order_relaxed);
@@ -102,48 +116,18 @@ Task* StealScheduler::take_inbox_chain(WorkerSlot& victim, std::size_t* n) {
   return ordered;
 }
 
-std::size_t StealScheduler::drain_inbox(WorkerSlot& victim, WorkStealDeque& into) {
-  std::size_t n = 0;
-  Task* ordered = take_inbox_chain(victim, &n);
-  while (ordered != nullptr) {
-    Task* next = ordered->inbox_next.load(std::memory_order_relaxed);
-    ordered->inbox_next.store(nullptr, std::memory_order_relaxed);
-    into.push(ordered);
-    ordered = next;
-  }
-  return n;
-}
-
-Task* StealScheduler::acquire_local(unsigned worker) {
-  WorkerSlot& slot = *slots_[worker];
-  if (slot.batch_head != nullptr) {
-    // Private batch: two pointer moves, no deque fence, no items_ traffic
-    // (the whole batch was accounted when it was carved off).
-    Task* task = slot.batch_head;
-    slot.batch_head = task->inbox_next.load(std::memory_order_relaxed);
-    task->inbox_next.store(nullptr, std::memory_order_relaxed);
-    if (tracer_ != nullptr && tracer_->enabled()) {
-      tracer_->sample_depth(now_ns(), items_.load(std::memory_order_relaxed));
-    }
-    return task;
-  }
-  if (Task* task = slot.deque.pop()) return acquired(task);
-  // Drain the inbox wholesale: a k-task submission burst costs one exchange
-  // here, not k acquires. The first kBatchMax stay in the private FIFO; the
-  // remainder spills to the deque where thieves can reach it. The cap
-  // trades deque-fence amortization against steal visibility: batched
-  // tasks are invisible to thieves until consumed, so it is kept small
-  // enough that a worker landing in a long task strands at most 31
-  // followers (the spill, and every later burst, remain stealable) while
-  // still amortizing the pop fence to ~3% of per-task cost.
-  constexpr std::size_t kBatchMax = 32;
-  std::size_t n = 0;
-  Task* chain = take_inbox_chain(slot, &n);
-  if (chain == nullptr) return nullptr;
-  slot.batch_head = chain;
+Task* StealScheduler::adopt_chain(WorkerSlot& me, Task* chain, std::size_t n,
+                                  std::uint32_t cap) {
+  // Install a drained inbox chain (submission order) as `me`'s private
+  // batch: the first `cap` tasks become two-pointer-move acquisitions, the
+  // remainder spills to the deque where other thieves can reach it. The
+  // batched tasks leave the globally-visible pool now: account them in one
+  // bulk decrement instead of one per task (the batch_size gauge keeps them
+  // visible to starvation detection). Returns the first task, consumed.
+  me.batch_head = chain;
   Task* tail = chain;
   std::size_t kept = 1;
-  for (; kept < kBatchMax; ++kept) {
+  for (; kept < cap; ++kept) {
     Task* next = tail->inbox_next.load(std::memory_order_relaxed);
     if (next == nullptr) break;
     tail = next;
@@ -151,51 +135,113 @@ Task* StealScheduler::acquire_local(unsigned worker) {
   Task* spill = tail->inbox_next.load(std::memory_order_relaxed);
   tail->inbox_next.store(nullptr, std::memory_order_relaxed);
   if (spill == nullptr) kept = n;  // whole chain fit in the batch
-  // The batched tasks leave the globally-visible pool now: account them in
-  // one bulk decrement instead of one per task.
   items_.fetch_sub(kept, std::memory_order_relaxed);
   while (spill != nullptr) {
     Task* next = spill->inbox_next.load(std::memory_order_relaxed);
     spill->inbox_next.store(nullptr, std::memory_order_relaxed);
-    slot.deque.push(spill);
+    me.deque.push(spill);
     spill = next;
   }
-  Task* task = slot.batch_head;
-  slot.batch_head = task->inbox_next.load(std::memory_order_relaxed);
+  Task* task = me.batch_head;
+  me.batch_head = task->inbox_next.load(std::memory_order_relaxed);
   task->inbox_next.store(nullptr, std::memory_order_relaxed);
+  me.batch_size.store(static_cast<std::uint32_t>(kept) - 1);
   return task;
 }
 
-Task* StealScheduler::acquire_steal(unsigned worker) {
-  WorkerSlot& me = *slots_[worker];
-  // One full sweep over the other workers starting at the rotating cursor:
-  // deque top first (the victim's oldest task — the classic FIFO steal),
-  // then the victim's inbox so a long-running victim cannot strand external
-  // submissions behind its back.
-  for (unsigned i = 0; i < workers_; ++i) {
-    const unsigned v = (me.victim_cursor + i) % workers_;
-    if (v == worker) continue;  // every other lane is probed exactly once
+Task* StealScheduler::acquire_local(unsigned lane) {
+  WorkerSlot& slot = *slots_[lane];
+  if (slot.batch_head != nullptr) {
+    // Private batch: two pointer moves, no deque fence, no items_ traffic
+    // (the whole batch was accounted when it was carved off).
+    Task* task = slot.batch_head;
+    slot.batch_head = task->inbox_next.load(std::memory_order_relaxed);
+    task->inbox_next.store(nullptr, std::memory_order_relaxed);
+    slot.batch_size.store(slot.batch_size.load() - 1);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->sample_depth(now_ns(), items_.load(std::memory_order_relaxed));
+    }
+    return task;
+  }
+  if (Task* task = slot.deque.pop()) return acquired(task);
+  // Drain the inbox wholesale: a k-task submission burst costs one exchange
+  // here, not k acquires. The first batch_cap_ stay in the private FIFO;
+  // the remainder spills to the deque where thieves can reach it. The cap
+  // trades deque-fence amortization against steal visibility: batched
+  // tasks are invisible to thieves until consumed, so the cap adapts —
+  // doubling per SUCCESSFUL drain while no thief has starved since this
+  // owner's last drain (an idle lane probing an empty inbox is not
+  // evidence that batching is safe, so empty probes leave it alone),
+  // halved (in acquire_steal) whenever a sweep misses while work exists.
+  std::size_t n = 0;
+  Task* chain = take_inbox_chain(slot, &n);
+  if (chain == nullptr) return nullptr;
+  const std::uint64_t misses = steal_misses_.load(std::memory_order_relaxed);
+  std::uint32_t cap = batch_cap_.load(std::memory_order_relaxed);
+  if (misses == slot.last_misses) {
+    if (cap < kBatchMax) {
+      cap *= 2;
+      batch_cap_.store(cap, std::memory_order_relaxed);
+    }
+  } else {
+    slot.last_misses = misses;
+  }
+  return adopt_chain(slot, chain, n, cap);
+}
+
+Task* StealScheduler::acquire_steal(unsigned lane) {
+  WorkerSlot& me = *slots_[lane];
+  // One full sweep over the other lanes (workers + the helper slot)
+  // starting at the rotating cursor: deque top first (the victim's oldest
+  // task — the classic FIFO steal), then the victim's inbox so a
+  // long-running victim cannot strand external submissions behind its back.
+  const unsigned total = lane_count();
+  bool hoarded = false;
+  unsigned v = me.victim_cursor < total ? me.victim_cursor : 0;
+  for (unsigned i = 0; i < total; ++i, v = v + 1 == total ? 0 : v + 1) {
+    if (v == lane) continue;  // every other lane is probed exactly once
     WorkerSlot& victim = *slots_[v];
     if (Task* task = victim.deque.steal()) {
       me.victim_cursor = v;  // keep milking a productive victim
       return acquired(task);
     }
-    // Drain the victim's stranded inbox into our own deque and take from
-    // there: redistributes a whole burst in one exchange.
-    if (drain_inbox(victim, me.deque) != 0) {
-      if (Task* task = me.deque.pop()) {
-        me.victim_cursor = v;
-        return acquired(task);
-      }
+    // Adopt the victim's stranded inbox as our own batch (+ deque spill):
+    // redistributes a whole burst in one exchange, and the adopted tasks
+    // cost two pointer moves each instead of a deque fence round trip —
+    // this is the helper's main acquisition path during a wave drain.
+    std::size_t n = 0;
+    if (Task* chain = take_inbox_chain(victim, &n)) {
+      me.victim_cursor = v;
+      return adopt_chain(me, chain, n, batch_cap_.load(std::memory_order_relaxed));
     }
+    if (victim.batch_size.load() > 0) hoarded = true;
   }
-  me.victim_cursor = (me.victim_cursor + 1) % workers_;
+  me.victim_cursor = me.victim_cursor + 1 >= total ? 0 : me.victim_cursor + 1;
+  // Full miss. Remember whether work existed — queued (items_) or hoarded
+  // in an owner's private batch; the miss is only COUNTED (and the batch
+  // cap halved) if this lane ends up parking with the flag set: a sweep
+  // that misses transiently between productive acquires is noise, but a
+  // lane that gives up and sleeps while work sits in someone's private
+  // batch genuinely starved because of batching.
+  me.missed_with_work = hoarded || items_.load(std::memory_order_relaxed) > 0;
   return nullptr;
 }
 
-Task* StealScheduler::try_pop(unsigned worker) {
-  if (Task* task = acquire_local(worker)) return task;
-  return acquire_steal(worker);
+void StealScheduler::note_starved(unsigned lane) {
+  WorkerSlot& me = *slots_[lane];
+  if (!me.missed_with_work) return;
+  me.missed_with_work = false;
+  steal_misses_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t cap = batch_cap_.load(std::memory_order_relaxed);
+  if (cap > kBatchMin) {
+    batch_cap_.store(cap / 2 > kBatchMin ? cap / 2 : kBatchMin,
+                     std::memory_order_relaxed);
+  }
+}
+
+Task* StealScheduler::try_pop(unsigned lane) {
+  if (Task* task = acquire_local(lane)) return task;
+  return acquire_steal(lane);
 }
 
 Task* StealScheduler::pop_blocking(unsigned worker) {
@@ -212,6 +258,7 @@ Task* StealScheduler::pop_blocking(unsigned worker) {
       std::this_thread::yield();
     }
     if (shutdown_.load(std::memory_order_acquire)) continue;  // drain, never park
+    note_starved(worker);
 
     // Park. Register as a sleeper first (seq_cst, pairing with note_push),
     // then re-check for work under the predicate: a push that raced our
@@ -226,6 +273,42 @@ Task* StealScheduler::pop_blocking(unsigned worker) {
     }
     sleepers_.fetch_sub(1, std::memory_order_relaxed);
   }
+}
+
+Task* StealScheduler::helper_pop(const std::function<bool()>& quit) {
+  const unsigned lane = workers_;  // the helper slot
+  for (;;) {
+    if (quit() || shutdown_.load(std::memory_order_acquire)) return nullptr;
+    if (Task* task = try_pop(lane)) return task;
+    // Short spin only: the helper is a bonus lane; on few-core hosts the
+    // workers own the backlog and need the cycles more.
+    for (int round = 0; round < kHelperSpinRounds; ++round) {
+      if (quit() || shutdown_.load(std::memory_order_acquire)) return nullptr;
+      if (Task* task = try_pop(lane)) return task;
+      std::this_thread::yield();
+    }
+    note_starved(lane);
+    // Park on the shared lot. Same seq_cst sleeper/item pairing as the
+    // workers, with the quit condition folded into the predicate — the
+    // runtime calls notify_helpers() when it flips, so the wakeup is
+    // exactly the push/quit/shutdown union, never a timeout poll.
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lock(park_mutex_);
+      park_cv_.wait(lock, [&] {
+        return shutdown_.load(std::memory_order_acquire) ||
+               items_.load(std::memory_order_seq_cst) > 0 || quit();
+      });
+    }
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void StealScheduler::notify_helpers() {
+  // notify_all, not notify_one: the lot is shared with the workers and the
+  // wakeup must reach the helper specifically.
+  std::lock_guard<std::mutex> lock(park_mutex_);
+  park_cv_.notify_all();
 }
 
 void StealScheduler::shutdown() {

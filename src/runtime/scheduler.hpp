@@ -10,6 +10,12 @@
 //    protocol. This is the default: it removes the central lock from the
 //    task hot path.
 //
+// PR 5 adds the helper lane: a transient extra slot through which the
+// master drains and steals tasks while it sits at a taskwait (helping
+// barrier) instead of parking — see Runtime::taskwait. The helper shares
+// the workers' parking lot, so push wakeups, shutdown, and the
+// all-tasks-done notification use one protocol.
+//
 // Depth tracking and trace sampling work identically under both policies so
 // Figures 7-8 reproduce regardless of `--sched`.
 #pragma once
@@ -17,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -42,22 +49,42 @@ enum class SchedPolicy : std::uint8_t {
   return "?";
 }
 
+/// Point-in-time scheduler observability (gauges + monotonic counters).
+struct SchedulerStats {
+  std::size_t depth = 0;            ///< tasks queued across all structures
+  std::size_t inbox_batch_cap = 0;  ///< adaptive worker-private batch cap (steal only)
+  std::uint64_t steal_misses = 0;   ///< full sweeps that found nothing while work existed
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
   /// Enqueue a ready task. `lane` is the calling thread's lane id: a worker
-  /// lane (< worker count) pushes into its own local structure; any other
-  /// lane (the master, test threads) submits externally.
+  /// lane (< worker count) pushes into its own local structure; the helper
+  /// lane (== worker count, valid only while the master is helping at a
+  /// taskwait) pushes into the helper's structure; any other lane (the
+  /// master outside taskwait, test threads) submits externally.
   virtual void push(Task* task, std::size_t lane) = 0;
 
   /// Worker `worker` blocks until a task is available or shutdown() was
   /// called and no task could be acquired; nullptr means "exit".
   virtual Task* pop_blocking(unsigned worker) = 0;
 
-  /// Non-blocking acquire for worker `worker`; nullptr when nothing was
-  /// found (possibly transiently, under steal races).
+  /// Non-blocking acquire for lane `worker` (a worker lane or the helper
+  /// lane); nullptr when nothing was found (possibly transiently, under
+  /// steal races).
   virtual Task* try_pop(unsigned worker) = 0;
+
+  /// Helping-barrier acquire for the (single) helper lane: returns a task,
+  /// or nullptr once `quit()` is true (or shutdown). Parks in the
+  /// scheduler's lot between attempts; a caller whose quit condition
+  /// changes asynchronously must arrange a notify_helpers() call.
+  virtual Task* helper_pop(const std::function<bool()>& quit) = 0;
+
+  /// Wake any helper parked inside helper_pop (the runtime calls this when
+  /// the helper's quit condition — "all tasks done" — flips).
+  virtual void notify_helpers() = 0;
 
   /// Release all blocked workers; subsequent pops drain remaining tasks and
   /// then return nullptr.
@@ -68,6 +95,9 @@ class Scheduler {
 
   /// Tasks currently queued across all structures (racy; monitoring only).
   [[nodiscard]] virtual std::size_t depth() const noexcept = 0;
+
+  /// Observability snapshot (racy; monitoring only).
+  [[nodiscard]] virtual SchedulerStats stats() const noexcept = 0;
 
   /// Factory for a policy. `workers` is the worker-thread count; `tracer`
   /// (nullable) receives ready-depth samples when tracing is enabled.
@@ -93,9 +123,16 @@ class CentralScheduler final : public Scheduler {
     (void)worker;
     return queue_.try_pop();
   }
+  Task* helper_pop(const std::function<bool()>& quit) override {
+    return queue_.pop_for_helper(quit);
+  }
+  void notify_helpers() override { queue_.notify_all(); }
   void shutdown() override { queue_.shutdown(); }
   void reset() override { queue_.reset(); }
   [[nodiscard]] std::size_t depth() const noexcept override { return queue_.depth(); }
+  [[nodiscard]] SchedulerStats stats() const noexcept override {
+    return SchedulerStats{queue_.depth(), 0, 0};
+  }
 
  private:
   ReadyQueue queue_;
@@ -108,19 +145,33 @@ class CentralScheduler final : public Scheduler {
 /// order): an external submission is one fetch_add + one CAS — no mutex
 /// anywhere on the submit path.
 ///
-/// Acquire order for worker w (try_pop):
+/// Slot layout: `workers` worker slots plus one helper slot (index ==
+/// workers) owned by the master while it helps at a taskwait. The helper
+/// slot's deque is part of every worker's steal sweep, so work the helping
+/// master spawns (successor pushes, nested submissions) never strands if
+/// the master blocks inside a long task.
+///
+/// Acquire order for lane w (try_pop):
 ///   1. own deque (LIFO — hottest task first),
-///   2. own inbox, drained wholesale into the deque (a burst of master
-///      submissions costs one exchange here, not one acquire per task),
-///   3. steal: sweep the other workers, first their deque tops (FIFO), then
+///   2. own inbox, drained wholesale into a private batch + deque spill (a
+///      burst of master submissions costs one exchange here, not one
+///      acquire per task),
+///   3. steal: sweep the other lanes, first their deque tops (FIFO), then
 ///      their inboxes — drained into the thief's own deque, so a victim
 ///      stuck in a long task cannot strand external submissions.
+///
+/// The private batch is capped adaptively (kBatchMin..kBatchMax): it grows
+/// while no thief has starved recently (fewer deque fences per task) and
+/// halves whenever a full steal sweep misses while work exists — batched
+/// tasks are invisible to thieves, so starvation is the signal that the
+/// batch is hoarding.
 ///
 /// Idle protocol (pop_blocking): spin a bounded number of acquire rounds
 /// (yielding, so oversubscribed containers do not burn the core), then park
 /// on the lot. Pushers bump the item count first and only take the lot lock
 /// when a sleeper is registered; the seq_cst item/sleeper pair makes the
-/// sleep/wake race lose-proof (one side always sees the other).
+/// sleep/wake race lose-proof (one side always sees the other). The helper
+/// parks on the same lot with an extra quit predicate.
 class StealScheduler final : public Scheduler {
  public:
   StealScheduler(unsigned workers, TraceRecorder* tracer);
@@ -129,11 +180,22 @@ class StealScheduler final : public Scheduler {
   void push(Task* task, std::size_t lane) override;
   Task* pop_blocking(unsigned worker) override;
   Task* try_pop(unsigned worker) override;
+  Task* helper_pop(const std::function<bool()>& quit) override;
+  void notify_helpers() override;
   void shutdown() override;
   void reset() override;
   [[nodiscard]] std::size_t depth() const noexcept override {
     return items_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] SchedulerStats stats() const noexcept override {
+    return SchedulerStats{items_.load(std::memory_order_relaxed),
+                          batch_cap_.load(std::memory_order_relaxed),
+                          steal_misses_.load(std::memory_order_relaxed)};
+  }
+
+  /// Adaptive batch-cap bounds (exposed for tests/benches).
+  static constexpr std::uint32_t kBatchMin = 64;
+  static constexpr std::uint32_t kBatchMax = 512;
 
  private:
   struct alignas(64) WorkerSlot {
@@ -143,11 +205,21 @@ class StealScheduler final : public Scheduler {
     /// sweeps skip empty inboxes with one relaxed load of this pointer.
     std::atomic<Task*> inbox_head{nullptr};
     /// Owner-private FIFO of drained inbox tasks (chained via inbox_next):
-    /// consuming one is two pointer moves — no deque fence. Capped at
-    /// kBatchMax per drain; the remainder spills to the deque so thieves
-    /// still see a stuck owner's backlog.
+    /// consuming one is two pointer moves — no deque fence. Capped at the
+    /// adaptive batch cap per drain; the remainder spills to the deque so
+    /// thieves still see a stuck owner's backlog.
     Task* batch_head = nullptr;
-    std::uint32_t victim_cursor = 0;  ///< worker-local steal start point
+    /// Tasks left in the private batch: owner-written (relaxed store per
+    /// consume — one cacheline it owns anyway), racily read by thieves to
+    /// tell "work is hoarded in a batch" apart from "system is empty".
+    AtomicCell<std::uint32_t> batch_size{0};
+    /// steal_misses_ snapshot at this owner's last drain: unchanged misses
+    /// since then == no thief starved recently == safe to grow the cap.
+    std::uint64_t last_misses = 0;
+    /// Set by a full steal sweep that missed while work existed (queued or
+    /// batch-hoarded); consumed by note_starved when the lane parks.
+    bool missed_with_work = false;
+    std::uint32_t victim_cursor = 0;  ///< lane-local steal start point
   };
 
   void note_push();
@@ -155,19 +227,35 @@ class StealScheduler final : public Scheduler {
   /// Exchange `victim`'s inbox chain out and return it in submission order
   /// (count in *n). nullptr when empty (or a producer is mid-publish).
   static Task* take_inbox_chain(WorkerSlot& victim, std::size_t* n);
-  /// Drain `victim`'s inbox wholesale into `into` (submission order).
-  /// Returns the number of tasks moved.
-  static std::size_t drain_inbox(WorkerSlot& victim, WorkStealDeque& into);
-  [[nodiscard]] Task* acquire_local(unsigned worker);
-  [[nodiscard]] Task* acquire_steal(unsigned worker);
+  /// Install a drained chain as `me`'s private batch (first `cap` tasks) +
+  /// deque spill, account it, and return the first task.
+  Task* adopt_chain(WorkerSlot& me, Task* chain, std::size_t n, std::uint32_t cap);
+  [[nodiscard]] Task* acquire_local(unsigned lane);
+  [[nodiscard]] Task* acquire_steal(unsigned lane);
+  /// Called when `lane` is about to park: if its last sweep missed while
+  /// work existed, count a steal miss and halve the batch cap.
+  void note_starved(unsigned lane);
+
+  [[nodiscard]] unsigned lane_count() const noexcept { return workers_ + 1; }
 
   const unsigned workers_;
+  /// workers_ - 1 when workers_ is a power of two (mask the inbox pick
+  /// instead of dividing), 0 otherwise.
+  const std::size_t inbox_mask_;
+  /// workers_ worker slots + the helper slot at index workers_.
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
 
   /// Tasks across all deques + inboxes; also the Figure-8 depth signal.
-  /// (Worker-private batches are excluded — they are committed to an owner.)
+  /// (Worker-private batches are excluded — they are committed to an owner;
+  /// thieves detect them via the per-slot batch_size gauge instead.)
   std::atomic<std::size_t> items_{0};
   std::atomic<bool> shutdown_{false};
+
+  /// Adaptive private-batch cap shared by all owners (kBatchMin..kBatchMax).
+  std::atomic<std::uint32_t> batch_cap_{kBatchMin};
+  /// Full steal sweeps that found nothing while work existed (queued or
+  /// batch-hoarded): the starvation signal that shrinks batch_cap_.
+  std::atomic<std::uint64_t> steal_misses_{0};
 
   std::atomic<int> sleepers_{0};
   std::mutex park_mutex_;

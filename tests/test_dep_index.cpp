@@ -1,0 +1,187 @@
+// Two-level dependence index under concurrency (a TSan/ASan CI target):
+// exact-table hits, tree fallbacks, prune sweeps and eager retirement all
+// racing across shards. The unit semantics live in test_dependency_tracker;
+// this binary drives the index through the full runtime where segments are
+// inserted, exact-hit, pruned and their tasks retired concurrently — a
+// stale index entry or a mis-pruned segment shows up as a lost/extra
+// dependence edge (broken write order) or a sanitizer hit on a recycled
+// record.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace atm::rt {
+namespace {
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+// Several submitter threads stream concurrently, each over its own cell set
+// (exact-index traffic after the first round) — while workers retire
+// records eagerly. Per-cell write logs must equal the owner's submission
+// order: a stale exact entry would route a dependence to a dead segment and
+// break the serialization.
+TEST(DepIndexStress, ConcurrentExactHitsSerializePerCellChains) {
+  constexpr int kSubmitters = 4;
+  constexpr int kCellsPerSubmitter = 64;
+  const int kTasksPerSubmitter = kSanitized ? 4'000 : 20'000;
+
+  Runtime rt({.num_threads = 2});
+  const auto* type = rt.register_type({.name = "t", .memoizable = false, .atm = {}});
+
+  struct Cell {
+    int value = 0;
+    std::mutex mu;
+    std::vector<int> log;
+  };
+  std::vector<std::vector<Cell>> cells(kSubmitters);
+  for (auto& v : cells) v = std::vector<Cell>(kCellsPerSubmitter);
+
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(s) * 7919 + 1);
+      for (int i = 0; i < kTasksPerSubmitter; ++i) {
+        const int c = static_cast<int>(rng() % kCellsPerSubmitter);
+        Cell* cell = &cells[s][c];
+        rt.submit(type,
+                  [cell, i] {
+                    std::lock_guard<std::mutex> lock(cell->mu);
+                    cell->log.push_back(i);
+                  },
+                  {inout(&cell->value, 1)});
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  rt.taskwait();
+
+  for (int s = 0; s < kSubmitters; ++s) {
+    for (int c = 0; c < kCellsPerSubmitter; ++c) {
+      const auto& log = cells[s][c].log;
+      ASSERT_TRUE(std::is_sorted(log.begin(), log.end()))
+          << "submitter " << s << " cell " << c << " writes out of order";
+      ASSERT_TRUE(std::adjacent_find(log.begin(), log.end()) == log.end())
+          << "submitter " << s << " cell " << c << " duplicate write";
+    }
+  }
+  EXPECT_EQ(rt.counters().executed,
+            static_cast<std::uint64_t>(kSubmitters) * kTasksPerSubmitter);
+  EXPECT_EQ(rt.arena_stats().live_slots(), 0u);
+  EXPECT_GT(rt.dep_index_stats().exact_hits, rt.dep_index_stats().tree_fallbacks);
+}
+
+// Insert-then-prune coherence: fresh-address streams big enough to trigger
+// the prune sweep, racing task retirement on the workers, interleaved with
+// exact-hit traffic on a recycled cell set. Any index entry outliving its
+// pruned segment is a dangling Segment* — ASan food — and any wrongly
+// pruned live segment loses an edge (serialization break on the cells).
+TEST(DepIndexStress, PruneUnderConcurrentRetirementStaysCoherent) {
+  const std::size_t kFresh = kSanitized ? 120'000 : 600'000;
+  constexpr std::size_t kCells = 512;
+
+  Runtime rt({.num_threads = 2});
+  const auto* type = rt.register_type({.name = "t", .memoizable = false, .atm = {}});
+  std::vector<std::uint8_t> heap(kFresh, 0);
+  std::vector<int> cells(kCells, 0);
+
+  std::thread fresh_submitter([&] {
+    for (std::size_t i = 0; i < kFresh; ++i) {
+      std::uint8_t* p = &heap[i];
+      rt.submit(type, [p] { *p = 1; }, {out(p, 1)});
+    }
+  });
+  std::thread cycling_submitter([&] {
+    const std::size_t rounds = kFresh / 8;
+    for (std::size_t i = 0; i < rounds; ++i) {
+      int* cell = &cells[i % kCells];
+      rt.submit(type, [cell] { *cell += 1; }, {inout(cell, 1)});
+    }
+  });
+  fresh_submitter.join();
+  cycling_submitter.join();
+  rt.taskwait();
+
+  for (std::uint8_t v : heap) ASSERT_EQ(v, 1);
+  const std::size_t rounds = kFresh / 8;
+  for (std::size_t c = 0; c < kCells; ++c) {
+    const int expected = static_cast<int>(rounds / kCells + (c < rounds % kCells ? 1 : 0));
+    ASSERT_EQ(cells[c], expected) << "cell " << c;
+  }
+  const DepIndexStats dep = rt.dep_index_stats();
+  if (!kSanitized) {
+    EXPECT_GT(dep.prune_scans, 0u) << "the fresh stream never triggered a prune";
+  }
+  EXPECT_GT(dep.exact_hits, 0u);
+  EXPECT_EQ(rt.arena_stats().live_slots(), 0u);
+}
+
+// Barrier retention vs prune vs re-registration, repeatedly: iterate waves
+// over a fixed footprint with helping barriers in between, asserting the
+// geometry count stays flat and hits keep dominating — then mix in a
+// one-shot fresh spike and check the next barrier stays correct.
+TEST(DepIndexStress, RetainedGeometryStableAcrossWaves) {
+  constexpr int kWaves = 12;
+  constexpr std::size_t kCells = 1024;
+  Runtime rt({.num_threads = 2, .help_taskwait = true});
+  const auto* type = rt.register_type({.name = "t", .memoizable = false, .atm = {}});
+  std::vector<double> cells(kCells, 0.0);
+
+  std::size_t settled_segments = 0;
+  for (int w = 0; w < kWaves; ++w) {
+    for (std::size_t i = 0; i < kCells; ++i) {
+      rt.submit(type, [&, i] { cells[i] += 1.0; }, {inout(&cells[i], 1)});
+    }
+    rt.taskwait();
+    const std::size_t segs = rt.tracker_segment_count();
+    if (w == 0) {
+      settled_segments = segs;
+    } else {
+      ASSERT_EQ(segs, settled_segments) << "geometry churned at wave " << w;
+    }
+  }
+  for (double v : cells) ASSERT_EQ(v, static_cast<double>(kWaves));
+
+  // One-shot spike of fresh addresses, then back to the iterative pattern.
+  // The spike may push its shard past the retention cap, clearing whatever
+  // geometry shares that shard (the cap is a leak guard, not a promise) —
+  // but correctness must hold immediately and the exact hits must be fully
+  // re-established one wave later.
+  std::vector<std::uint8_t> spike(50'000, 0);
+  for (auto& b : spike) {
+    rt.submit(type, [&b] { b = 1; }, {out(&b, 1)});
+  }
+  rt.taskwait();
+  for (int w = 0; w < 2; ++w) {
+    for (std::size_t i = 0; i < kCells; ++i) {
+      rt.submit(type, [&, i] { cells[i] += 1.0; }, {inout(&cells[i], 1)});
+    }
+    rt.taskwait();
+  }
+  const auto hits_before = rt.dep_index_stats().exact_hits;
+  for (std::size_t i = 0; i < kCells; ++i) {
+    rt.submit(type, [&, i] { cells[i] += 1.0; }, {inout(&cells[i], 1)});
+  }
+  rt.taskwait();
+  EXPECT_EQ(rt.dep_index_stats().exact_hits - hits_before, kCells)
+      << "exact hits not re-established after the spike";
+  for (double v : cells) ASSERT_EQ(v, static_cast<double>(kWaves) + 3.0);
+}
+
+}  // namespace
+}  // namespace atm::rt

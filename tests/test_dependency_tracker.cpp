@@ -1,7 +1,10 @@
 // Tests for the interval-splitting dependence tracker: OmpSs semantics
-// (RAW, WAR, WAW), partial-overlap splitting, and a randomized property
-// test checking that every conflicting pair of tasks is ordered by the
-// reported dependence graph (possibly transitively).
+// (RAW, WAR, WAW), partial-overlap splitting, the two-level exact-interval
+// index (O(1) hits for re-submitted regions, coherent fallback on splits,
+// prune/reset interplay), and randomized property tests checking that every
+// conflicting pair of tasks is ordered by the reported dependence graph
+// (possibly transitively) — including an exact-heavy block-aligned variant
+// that keeps the hash table and the tree disagreeing if either goes stale.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -160,6 +163,108 @@ TEST_F(TrackerFixture, GapAndOverlapMix) {
   EXPECT_NE(std::find(deps.begin(), deps.end(), b), deps.end());
 }
 
+// --- Two-level index: exact-interval hits, split coherence, prune/reset ----
+
+// Re-submitting an identical region: the first registration stages in the
+// append log (neither counter), the second folds the log and walks the tree
+// (fallback), every later one is an O(1) exact hit — with identical deps.
+TEST_F(TrackerFixture, ExactIndexServesResubmittedRegion) {
+  Task* w0 = make_task({out(buf_, 100)});
+  deps_of(w0);
+  EXPECT_EQ(tracker_.stats().exact_hits, 0u);
+  EXPECT_EQ(tracker_.stats().tree_fallbacks, 0u);
+
+  Task* w1 = make_task({out(buf_, 100)});
+  const auto d1 = deps_of(w1);
+  ASSERT_EQ(d1.size(), 1u);
+  EXPECT_EQ(d1[0], w0);
+  EXPECT_EQ(tracker_.stats().exact_hits, 0u);
+  EXPECT_EQ(tracker_.stats().tree_fallbacks, 1u);
+
+  Task* w2 = make_task({out(buf_, 100)});
+  const auto d2 = deps_of(w2);
+  ASSERT_EQ(d2.size(), 1u);
+  EXPECT_EQ(d2[0], w1);
+  EXPECT_EQ(tracker_.stats().exact_hits, 1u);
+  EXPECT_EQ(tracker_.stats().tree_fallbacks, 1u);
+}
+
+// Splitting an indexed segment must drop its (begin,len) entry: a later
+// access with the ORIGINAL extent may not shortcut to the dead node.
+TEST_F(TrackerFixture, SplitInvalidatesExactEntry) {
+  Task* a = make_task({out(buf_, 100)});      // [0,100)
+  deps_of(a);
+  Task* a2 = make_task({out(buf_, 100)});     // folds + indexes (0,100)
+  deps_of(a2);
+  Task* b = make_task({out(buf_ + 50, 100)}); // [50,150): splits (0,100)
+  deps_of(b);
+  // [0,100) no longer exists as one segment; the registration must fall
+  // back, cover [0,50) (writer a2) and [50,100) (writer b), and dep on both.
+  Task* c = make_task({out(buf_, 100)});
+  const auto deps = deps_of(c);
+  EXPECT_EQ(deps.size(), 2u);
+  EXPECT_NE(std::find(deps.begin(), deps.end(), a2), deps.end());
+  EXPECT_NE(std::find(deps.begin(), deps.end(), b), deps.end());
+  // The split halves were re-indexed under their own keys: re-touching the
+  // left half exactly is a hit on the coherent entry.
+  const auto hits_before = tracker_.stats().exact_hits;
+  Task* r = make_task({in(static_cast<const float*>(buf_), 50)});
+  const auto rdeps = deps_of(r);
+  ASSERT_EQ(rdeps.size(), 1u);
+  EXPECT_EQ(rdeps[0], c);
+  EXPECT_GT(tracker_.stats().exact_hits, hits_before);
+}
+
+// prune_finished must erase index entries along with their segments: a
+// fresh registration of the pruned region reports no (stale) dependence.
+TEST_F(TrackerFixture, PruneErasesIndexEntries) {
+  Task* w = make_task({out(buf_, 100)});
+  deps_of(w);
+  Task* w2 = make_task({out(buf_, 100)});  // fold + index; slot holds w2
+  deps_of(w2);
+  w2->state.store(TaskState::Finished, std::memory_order_release);
+  EXPECT_EQ(tracker_.prune_finished(), 0u);
+  EXPECT_EQ(tracker_.stats().prune_scans, 1u);
+  EXPECT_EQ(tracker_.segment_count(), 0u);
+  // Pruned: the region is fresh again — no dependence, no dangling hit.
+  Task* r = make_task({in(static_cast<const float*>(buf_), 100)});
+  EXPECT_TRUE(deps_of(r).empty());
+}
+
+// Barrier reset keeps the geometry but releases the slots: the next wave's
+// identical region is an exact hit that carries NO dependence.
+TEST_F(TrackerFixture, ResetRetainsGeometryWithoutDeps) {
+  Task* w = make_task({out(buf_, 100)});
+  deps_of(w);
+  tracker_.reset_task_refs();
+  EXPECT_EQ(tracker_.segment_count(), 1u);
+  const auto hits_before = tracker_.stats().exact_hits;
+  Task* r = make_task({in(static_cast<const float*>(buf_), 100)});
+  EXPECT_TRUE(deps_of(r).empty());
+  EXPECT_GT(tracker_.stats().exact_hits, hits_before);
+  // And the retained segment works as a live slot again: a writer after the
+  // reader picks up the WAR edge through the same retained segment.
+  Task* w2 = make_task({out(buf_, 100)});
+  const auto deps = deps_of(w2);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], r);
+}
+
+// A partial overlap with an exactly-indexed segment must NOT hit: the probe
+// key includes the length, so [0,50) against an indexed (0,100) falls back.
+TEST_F(TrackerFixture, PartialOverlapBypassesExactIndex) {
+  Task* w = make_task({out(buf_, 100)});
+  deps_of(w);
+  Task* w2 = make_task({out(buf_, 100)});  // index (0,100)
+  deps_of(w2);
+  const auto hits_before = tracker_.stats().exact_hits;
+  Task* r = make_task({in(static_cast<const float*>(buf_), 50)});  // prefix only
+  const auto deps = deps_of(r);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], w2);
+  EXPECT_EQ(tracker_.stats().exact_hits, hits_before);
+}
+
 // ---------------------------------------------------------------------------
 // Property test: for random access sequences, every conflicting pair (i, j)
 // (overlapping ranges, at least one writer) must be ordered by the reported
@@ -229,6 +334,97 @@ TEST_P(TrackerPropertyTest, ConflictingPairsAreOrdered) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomPrograms, TrackerPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+// Exact-heavy variant: block-aligned regions drawn from a small set, with
+// occasional straddling ranges and barrier resets mixed in. Most
+// registrations are exact-index hits, the straddlers force splits that must
+// invalidate entries, and the resets exercise retained geometry — if either
+// level of the index goes stale, some conflicting pair loses its ordering.
+class ExactHeavyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactHeavyPropertyTest, BlockAlignedConflictsStayOrdered) {
+  const std::uint64_t seed = GetParam();
+  std::mt19937_64 rng(seed);
+  auto rnd = [&](std::uint64_t bound) { return rng() % bound; };
+
+  constexpr std::size_t kBlocks = 8;
+  constexpr std::size_t kBlockFloats = 32;
+  constexpr std::size_t kTasks = 200;
+  static float arena[kBlocks * kBlockFloats];
+
+  DependencyTracker tracker;
+  std::vector<std::unique_ptr<Task>> tasks;
+  std::vector<std::vector<std::size_t>> succ(kTasks);
+  // Conflicts are only required to be ordered when no reset intervened
+  // (a reset models a barrier: everything before it is finished).
+  std::vector<std::size_t> epoch_of(kTasks, 0);
+  std::size_t epoch = 0;
+
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    if (i > 0 && rnd(40) == 0) {
+      tracker.reset_task_refs();
+      ++epoch;
+    }
+    auto t = std::make_unique<Task>();
+    t->id = i;
+    epoch_of[i] = epoch;
+    const std::size_t naccesses = 1 + rnd(2);
+    for (std::size_t a = 0; a < naccesses; ++a) {
+      const auto mode = static_cast<AccessMode>(rnd(3));
+      if (rnd(8) == 0) {
+        // Straddler: spans a block boundary, forcing splits.
+        const std::size_t start = kBlockFloats / 2 + rnd(kBlocks - 1) * kBlockFloats;
+        t->accesses.push_back(
+            {arena + start, kBlockFloats * sizeof(float), mode, ElemType::F32});
+      } else {
+        const std::size_t b = rnd(kBlocks);
+        t->accesses.push_back({arena + b * kBlockFloats,
+                               kBlockFloats * sizeof(float), mode, ElemType::F32});
+      }
+    }
+    std::vector<Task*> deps;
+    tracker.register_task(*t, deps);
+    for (Task* d : deps) succ[d->id].push_back(i);
+    tasks.push_back(std::move(t));
+  }
+  // The straddlers progressively split every block, so late traffic
+  // legitimately walks the tree; the exact table must still have carried
+  // hits while blocks were whole (clean iterative patterns assert full
+  // dominance in test_retirement / the app harnesses).
+  EXPECT_GT(tracker.stats().exact_hits, 0u) << "seed " << seed;
+
+  std::vector<std::vector<bool>> reach(kTasks, std::vector<bool>(kTasks, false));
+  for (std::size_t i = kTasks; i-- > 0;) {
+    for (std::size_t s : succ[i]) {
+      reach[i][s] = true;
+      for (std::size_t k = 0; k < kTasks; ++k) {
+        if (reach[s][k]) reach[i][k] = true;
+      }
+    }
+  }
+
+  auto conflicts = [&](const Task& x, const Task& y) {
+    for (const auto& ax : x.accesses) {
+      for (const auto& ay : y.accesses) {
+        const bool overlap = ax.begin() < ay.end() && ay.begin() < ax.end();
+        if (overlap && (ax.is_output() || ay.is_output())) return true;
+      }
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    for (std::size_t j = i + 1; j < kTasks; ++j) {
+      if (epoch_of[i] == epoch_of[j] && conflicts(*tasks[i], *tasks[j])) {
+        EXPECT_TRUE(reach[i][j]) << "conflicting tasks " << i << " -> " << j
+                                 << " not ordered (seed " << seed << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBlockPrograms, ExactHeavyPropertyTest,
                          ::testing::Range<std::uint64_t>(0, 12));
 
 }  // namespace

@@ -8,6 +8,9 @@
 //   --p=F                  fixed-p value for --mode=fixed   (default: 1.0)
 //   --threads=N            worker threads                   (default: 2)
 //   --sched=S              steal | central ready-task scheduler (default: steal)
+//   --taskwait=T           help | park: helping barrier (the master drains/
+//                          steals tasks at taskwait) or the paper's parking
+//                          condvar barrier                 (default: help)
 //   --graph-shards=K       2^K dependence-tracker shards on the submit
 //                          path (default: 4; 0 = single lock)
 //   --preset=P             test | bench | paper             (default: bench)
@@ -25,6 +28,10 @@
 //                          a missing/corrupt/version- or endianness-
 //                          mismatched snapshot aborts the run (exit 2)
 //   --trace                print the per-core ASCII timeline
+//   --stats                print runtime observability per app: two-level
+//                          dependence-index counters (exact hits / tree
+//                          fallbacks / prune scans) and scheduler gauges
+//                          (adaptive inbox batch cap, steal misses)
 //   --baseline             also run mode=off and report speedup/correctness
 #include <cstdio>
 #include <cstring>
@@ -45,6 +52,7 @@ struct Options {
   RunConfig config{.threads = 2, .mode = AtmMode::Static};
   Preset preset = Preset::Bench;
   bool trace = false;
+  bool stats = false;
   bool baseline = false;
 };
 
@@ -65,12 +73,12 @@ bool parse_flag(const char* arg, const char* name, const char** value) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [app] [--mode=off|static|dynamic|fixed] [--p=F]\n"
-               "          [--threads=N] [--sched=steal|central] [--graph-shards=K]\n"
-               "          [--preset=test|bench|paper] [--no-ikt]\n"
+               "          [--threads=N] [--sched=steal|central] [--taskwait=help|park]\n"
+               "          [--graph-shards=K] [--preset=test|bench|paper] [--no-ikt]\n"
                "          [--no-type-aware] [--verify-full-inputs] [--lru]\n"
                "          [--n=K] [--m=K] [--l2] [--l2-budget-mb=K] [--l2-shards=K]\n"
                "          [--l2-compress] [--save-store=PATH] [--load-store=PATH]\n"
-               "          [--trace] [--baseline]\n",
+               "          [--trace] [--stats] [--baseline]\n",
                argv0);
   return 2;
 }
@@ -96,6 +104,11 @@ bool parse(int argc, char** argv, Options* opts) {
       const std::string s = value;
       if (s == "steal") opts->config.sched = rt::SchedPolicy::Steal;
       else if (s == "central") opts->config.sched = rt::SchedPolicy::Central;
+      else return false;
+    } else if (parse_flag(arg, "--taskwait", &value)) {
+      const std::string t = value;
+      if (t == "help") opts->config.help_taskwait = true;
+      else if (t == "park") opts->config.help_taskwait = false;
       else return false;
     } else if (parse_flag(arg, "--graph-shards", &value)) {
       opts->config.graph_log2_shards =
@@ -139,6 +152,8 @@ bool parse(int argc, char** argv, Options* opts) {
     } else if (parse_flag(arg, "--trace", &value)) {
       opts->trace = true;
       opts->config.tracing = true;
+    } else if (parse_flag(arg, "--stats", &value)) {
+      opts->stats = true;
     } else if (parse_flag(arg, "--baseline", &value)) {
       opts->baseline = true;
     } else {
@@ -148,7 +163,8 @@ bool parse(int argc, char** argv, Options* opts) {
   return true;
 }
 
-void run_one(const App& app, const Options& opts, TablePrinter* table) {
+void run_one(const App& app, const Options& opts, TablePrinter* table,
+             TablePrinter* stats_table) {
   RunResult baseline;
   if (opts.baseline) {
     RunConfig off = opts.config;
@@ -181,6 +197,20 @@ void run_one(const App& app, const Options& opts, TablePrinter* table) {
                   "%");
   }
   table->add_row(std::move(row));
+
+  if (stats_table != nullptr) {
+    // Runtime observability: the two-level dependence-index counters (is
+    // the submit path exact-dominated? are prune scans pathological?) and
+    // the steal scheduler's adaptive-batch state.
+    stats_table->add_row({
+        app.name(),
+        std::to_string(run.atm.dep_exact_hits),
+        std::to_string(run.atm.dep_tree_fallbacks),
+        std::to_string(run.atm.prune_scans),
+        std::to_string(run.sched.inbox_batch_cap),
+        std::to_string(run.sched.steal_misses),
+    });
+  }
 
   if (opts.trace && !run.ascii_timeline.empty()) {
     std::printf("\n%s trace (.idle X exec h hash m memoize c create):\n%s",
@@ -218,17 +248,26 @@ int main(int argc, char** argv) {
     header.push_back("Correctness");
   }
   TablePrinter table(std::move(header));
+  TablePrinter stats_table({"Benchmark", "Dep exact", "Dep tree", "Prune scans",
+                            "Batch cap", "Steal miss"});
 
+  TablePrinter* stats = opts.stats ? &stats_table : nullptr;
   if (opts.app == "all") {
-    for (const auto& app : make_all_apps(opts.preset)) run_one(*app, opts, &table);
+    for (const auto& app : make_all_apps(opts.preset)) {
+      run_one(*app, opts, &table, stats);
+    }
   } else {
     const auto app = make_app(opts.app, opts.preset);
     if (app == nullptr) {
       std::fprintf(stderr, "unknown app '%s'\n", opts.app.c_str());
       return usage(argv[0]);
     }
-    run_one(*app, opts, &table);
+    run_one(*app, opts, &table, stats);
   }
   table.print(std::cout);
+  if (opts.stats) {
+    std::printf("\nRuntime stats (two-level dependence index / steal scheduler):\n");
+    stats_table.print(std::cout);
+  }
   return 0;
 }
