@@ -1,0 +1,216 @@
+// PR 6 tolerance-matching benchmark: machine-readable numbers for the
+// tolerance-quantized memo keys and the multi-probe lookup. Emits JSON
+// (bench name -> value), consumed by `tools/run_benches.sh <build> json`,
+// which writes BENCH_pr6.json.
+//
+//   pr6_tolerance [--out=PATH]     (default: JSON to stdout)
+//
+// Sections:
+//   sched_storm_{central,steal}_tN   same harness and names as
+//                                    BENCH_pr5.json — the epsilon = 0 A/B:
+//                                    tolerance support must not tax the
+//                                    exact hot path (re-measure the pr5
+//                                    build on the same host before
+//                                    comparing absolute numbers)
+//   key_exact_*, key_tol_*           compute_key ns on the 6-region
+//                                    Blackscholes-shaped fixture: exact
+//                                    digests vs quantized digests (with and
+//                                    without probes) at p = 1 and p = 2^-10
+//   tol_reuse_percent_eps*           noisy-sensor Blackscholes reuse as the
+//                                    epsilon sweeps 0 -> 1e-2 (the
+//                                    accuracy/reuse curve in
+//                                    docs/BENCHMARKS.md)
+//   tol_maxrelerr_eps*               measured max relative output error of
+//                                    the same runs vs an exact (mode Off)
+//                                    baseline over identical jittered inputs
+//   tol_probe_hits_blackscholes      hits attributed to neighbor probes at
+//                                    the preset epsilon
+//   key_gather_oob                   sanity: must stay 0
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "atm/error_metric.hpp"
+#include "atm/hash_key.hpp"
+#include "atm/input_sampler.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace atm;
+using namespace atm::bench;
+
+struct Entry {
+  std::string name;
+  double value = 0.0;
+  const char* unit = "ns_per_op";
+};
+
+double storm_ns_per_task(rt::SchedPolicy sched, unsigned threads, int reps) {
+  const std::size_t tasks = 20'000;
+  const int waves = 5;
+  const double rate = sched_storm_median(sched, threads, tasks, waves, reps);
+  return 1e9 / rate;
+}
+
+/// Median ns per compute_key call over the shared 6-region fixture.
+double key_ns(const MultiRegionKeyFixture& fixture, const GatherPlan& plan,
+              const ToleranceSpec& spec, bool tolerance, int reps) {
+  const int kCalls = 2'000;
+  std::vector<double> times;
+  for (int r = 0; r < reps; ++r) {
+    HashKey sink = 0;
+    Timer timer;
+    for (int i = 0; i < kCalls; ++i) {
+      sink ^= tolerance ? compute_key(fixture.task, plan, 9, spec).key
+                        : compute_key(fixture.task, plan, 9).key;
+    }
+    const double secs = timer.elapsed_s();
+    if (sink == 42) std::fprintf(stderr, ".");  // defeat dead-code elimination
+    times.push_back(secs * 1e9 / kCalls);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+struct SweepRow {
+  double eps = 0.0;
+  double reuse_percent = 0.0;
+  double max_rel_err = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const int reps = default_reps();
+  std::vector<Entry> entries;
+
+  // --- epsilon = 0 A/B: the exact hot path must not regress (vs pr5) -------
+  const double central_hw = storm_ns_per_task(rt::SchedPolicy::Central, hw, reps);
+  const double steal_hw = storm_ns_per_task(rt::SchedPolicy::Steal, hw, reps);
+  entries.push_back({"sched_storm_central_t" + std::to_string(hw), central_hw});
+  entries.push_back({"sched_storm_steal_t" + std::to_string(hw), steal_hw});
+  // Oversubscribed (threads > cores on CI): the contended point pr5 tracks.
+  const unsigned contended = 4;
+  if (contended != hw) {
+    entries.push_back({"sched_storm_central_t" + std::to_string(contended),
+                       storm_ns_per_task(rt::SchedPolicy::Central, contended, reps)});
+    entries.push_back({"sched_storm_steal_t" + std::to_string(contended),
+                       storm_ns_per_task(rt::SchedPolicy::Steal, contended, reps)});
+  }
+
+  // --- key computation: exact vs quantized digests --------------------------
+  MultiRegionKeyFixture fixture;
+  const InputLayout layout = InputLayout::from_task(fixture.task);
+  const GatherPlan& full = fixture.sampler.plan_for(0, layout, 1.0);
+  const GatherPlan& sampled = fixture.sampler.plan_for(0, layout, 1.0 / 1024);
+  const ToleranceSpec off{};
+  const ToleranceSpec tol{.rel = 1e-3};
+  const ToleranceSpec tol_probes{.rel = 1e-3, .probes = 4};
+  const double exact_full = key_ns(fixture, full, off, false, reps);
+  const double tol_full = key_ns(fixture, full, tol, true, reps);
+  const double exact_sampled = key_ns(fixture, sampled, off, false, reps);
+  const double tol_sampled = key_ns(fixture, sampled, tol, true, reps);
+  const double probes_sampled = key_ns(fixture, sampled, tol_probes, true, reps);
+  entries.push_back({"key_exact_plan_p1", exact_full});
+  entries.push_back({"key_tol_plan_p1", tol_full});
+  entries.push_back({"key_exact_plan_p2em10", exact_sampled});
+  entries.push_back({"key_tol_plan_p2em10", tol_sampled});
+  entries.push_back({"key_tol_probes4_plan_p2em10", probes_sampled});
+  // The epsilon = 0 delegate must cost the same as the exact call.
+  const double delegate_sampled = key_ns(fixture, sampled, off, true, reps);
+  entries.push_back({"key_tol_eps0_delegate_p2em10", delegate_sampled});
+
+  // --- accuracy/reuse curve: noisy Blackscholes epsilon sweep ---------------
+  const auto app = apps::make_app("blackscholes", apps::Preset::Test);
+  RunConfig base{.threads = hw, .mode = AtmMode::Static};
+  base.input_noise = 2e-7;
+  base.tolerance_probes = 4;
+  RunConfig off_cfg = base;
+  off_cfg.mode = AtmMode::Off;
+  const RunResult baseline = app->run(off_cfg);
+
+  const struct { double eps; const char* label; } kSweep[] = {
+      {0.0, "eps0"}, {1e-4, "eps1em4"}, {1e-3, "eps1em3"}, {1e-2, "eps1em2"}};
+  std::vector<SweepRow> sweep;
+  for (const auto& point : kSweep) {
+    RunConfig cfg = base;
+    cfg.tolerance_rel = point.eps;
+    const RunResult run = run_median(*app, cfg, reps);
+    SweepRow row;
+    row.eps = point.eps;
+    row.reuse_percent = 100.0 * run.reuse_fraction();
+    row.max_rel_err = chebyshev_relative_error(std::span<const double>(baseline.output),
+                                               std::span<const double>(run.output));
+    sweep.push_back(row);
+    entries.push_back({std::string("tol_reuse_percent_") + point.label,
+                       row.reuse_percent, "percent"});
+    entries.push_back({std::string("tol_maxrelerr_") + point.label, row.max_rel_err,
+                       "max_rel_err"});
+    if (point.eps == 1e-3) {
+      entries.push_back({"tol_probe_hits_blackscholes",
+                         static_cast<double>(run.atm.probe_hits), "count"});
+      entries.push_back({"key_gather_oob",
+                         static_cast<double>(run.atm.key_gather_oob), "count"});
+    }
+  }
+
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "pr6_tolerance: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"pr\": 6,\n");
+  std::fprintf(out, "  \"generated_by\": \"bench/pr6_tolerance\",\n");
+  std::fprintf(out,
+               "  \"baseline\": \"BENCH_pr5.json (same storm names; re-run the "
+               "pr5 build on the same host for drift-free A/B)\",\n");
+  std::fprintf(out,
+               "  \"drift_note\": \"container clocks drift between merges: do NOT "
+               "compare raw ns across BENCH_prN.json files recorded at different "
+               "times. The acceptance A/B protocol is interleaved same-host runs "
+               "of both builds (see docs/BENCHMARKS.md, pr6 section).\",\n");
+  std::fprintf(out, "  \"hardware_threads\": %u,\n", hw);
+  std::fprintf(out, "  \"reps\": %d,\n", reps);
+  std::fprintf(out, "  \"benches\": {\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    std::fprintf(out, "    \"%s\": {\"%s\": %.6g}%s\n", entries[i].name.c_str(),
+                 entries[i].unit, entries[i].value,
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"derived\": {\n");
+  std::fprintf(out,
+               "    \"key_tol_over_exact_p1\": %.2f,\n"
+               "    \"key_tol_over_exact_p2em10\": %.2f,\n"
+               "    \"key_eps0_delegate_over_exact_p2em10\": %.2f,\n"
+               "    \"reuse_gain_eps1em3_over_eps0_percentpoints\": %.1f\n",
+               tol_full / exact_full, tol_sampled / exact_sampled,
+               delegate_sampled / exact_sampled,
+               sweep[2].reuse_percent - sweep[0].reuse_percent);
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  if (out != stdout) std::fclose(out);
+
+  std::fprintf(stderr,
+               "pr6_tolerance: key exact/tol p1 = %.1f/%.1f ns, p2^-10 = "
+               "%.1f/%.1f ns (probes %.1f), reuse eps0/1e-3 = %.1f%%/%.1f%% "
+               "(maxrelerr %.2e), storm steal t%u = %.1f ns/task\n",
+               exact_full, tol_full, exact_sampled, tol_sampled, probes_sampled,
+               sweep[0].reuse_percent, sweep[2].reuse_percent, sweep[2].max_rel_err,
+               hw, steal_hw);
+  return 0;
+}

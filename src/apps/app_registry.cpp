@@ -38,6 +38,9 @@ std::unique_ptr<AtmEngine> make_engine(const RunConfig& config) {
   c.shuffle_seed = config.shuffle_seed;
   c.verify_full_inputs = config.verify_full_inputs;
   c.eviction = config.eviction;
+  c.tolerance_rel = config.tolerance_rel;
+  c.tolerance_abs = config.tolerance_abs;
+  c.tolerance_probes = config.tolerance_probes;
   c.l2_enabled = config.l2_enabled;
   c.l2_budget_bytes = config.l2_budget_bytes;
   c.l2_log2_shards = config.l2_log2_shards;

@@ -42,6 +42,19 @@ struct RunConfig {
   /// (`atm_run --taskwait=park`), kept for wave-boundary A/B runs.
   bool help_taskwait = true;
 
+  // --- tolerance-quantized keys (src/atm/tolerance.hpp) ---
+  /// Relative / absolute key-quantization epsilons (0 = exact keys) and the
+  /// neighbor-probe count, forwarded to AtmConfig (`atm_run --tolerance`).
+  double tolerance_rel = 0.0;
+  double tolerance_abs = 0.0;
+  unsigned tolerance_probes = 0;
+  /// Per-iteration relative input jitter for the noisy-sensor demos
+  /// (blackscholes and jacobi re-read their inputs each sweep with
+  /// deterministic noise of this amplitude; other apps ignore it). Exact
+  /// keys see ~0% reuse under any nonzero noise — the workload tolerance
+  /// matching exists for.
+  double input_noise = 0.0;
+
   // --- tiered memo store (src/store/) ---
   bool l2_enabled = false;        ///< byte-budgeted capacity tier behind the THT
   std::size_t l2_budget_bytes = std::size_t{64} << 20;
@@ -108,6 +121,16 @@ class App {
   [[nodiscard]] virtual std::string correctness_target() const = 0;
   /// Table II parameters for the memoized type.
   [[nodiscard]] virtual rt::AtmParams atm_params() const = 0;
+
+  /// Recommended relative key-quantization epsilon for this workload
+  /// (`atm_run --tolerance` with no value). 0 = no preset: the app's
+  /// outputs are too input-sensitive for tolerance matching to be safe.
+  [[nodiscard]] virtual double tolerance_preset() const { return 0.0; }
+
+  /// Output-error ceiling the tolerance preset is expected to hold
+  /// (measured max relative output error vs an exact baseline under the
+  /// noisy-input demos; asserted by the acceptance tests).
+  [[nodiscard]] virtual double tolerance_error_bound() const { return 0.05; }
 
   /// Execute the full benchmark under `config` (fresh state every call).
   [[nodiscard]] virtual RunResult run(const RunConfig& config) const = 0;

@@ -97,6 +97,22 @@ RunResult BlackscholesApp::run(const RunConfig& config) const {
     }
   }
 
+  // Noisy-sensor mode (tolerance-matching demo): the portfolio is re-read
+  // each pricing sweep with fresh per-element relative jitter — every key
+  // input differs by ~noise from the previous sweep's, so exact keys never
+  // repeat while quantized keys still match. The jitter is a deterministic
+  // function of (seed, iteration), making a mode-Off run over the same
+  // params an exact baseline for output-error measurement.
+  const double noise = config.input_noise;
+  std::vector<float> base_spot, base_strike, base_rate, base_vol, base_time;
+  if (noise > 0.0) {
+    base_spot.assign(spot.begin(), spot.end());
+    base_strike.assign(strike.begin(), strike.end());
+    base_rate.assign(rate.begin(), rate.end());
+    base_vol.assign(volatility.begin(), volatility.end());
+    base_time.assign(time.begin(), time.end());
+  }
+
   auto engine = make_engine(config);
   rt::Runtime runtime(runtime_config(config));
   if (engine != nullptr) runtime.attach_memoizer(engine.get());
@@ -106,6 +122,22 @@ RunResult BlackscholesApp::run(const RunConfig& config) const {
 
   Timer timer;
   for (unsigned iter = 0; iter < params_.iterations; ++iter) {
+    if (noise > 0.0) {
+      // Safe to mutate: the previous sweep's tasks drained at the taskwait.
+      Rng rng(splitmix64(params_.seed ^ (0xA05Eull + iter)));
+      auto jitter = [&rng, noise](float v) {
+        return v * (1.0f + rng.next_float(-static_cast<float>(noise),
+                                          static_cast<float>(noise)));
+      };
+      for (std::size_t i = 0; i < n; ++i) {
+        spot[i] = jitter(base_spot[i]);
+        strike[i] = jitter(base_strike[i]);
+        rate[i] = jitter(base_rate[i]);
+        volatility[i] = jitter(base_vol[i]);
+        time[i] = jitter(base_time[i]);
+        // otype is a put/call flag — sensors don't jitter an enum.
+      }
+    }
     for (std::size_t begin = 0; begin < n; begin += bs) {
       const std::size_t count = std::min(bs, n - begin);
       const float* s = spot.data() + begin;

@@ -27,6 +27,10 @@ class GaussSeidelApp final : public App {
     return {.l_training = params_.l_training, .tau_max = 0.01};  // Table II
   }
 
+  /// Same smooth-field argument as Jacobi: a 1e-3 relative input cell is
+  /// harmless to the relaxation output.
+  [[nodiscard]] double tolerance_preset() const override { return 1e-3; }
+
   [[nodiscard]] RunResult run(const RunConfig& config) const override;
 
   [[nodiscard]] const StencilParams& params() const noexcept { return params_; }

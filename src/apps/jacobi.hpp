@@ -27,6 +27,10 @@ class JacobiApp final : public App {
     return {.l_training = params_.l_training, .tau_max = 0.01};  // Table II
   }
 
+  /// A 1e-3 relative cell on the smooth diffusion field keeps the averaged
+  /// output well under the default 5% error ceiling.
+  [[nodiscard]] double tolerance_preset() const override { return 1e-3; }
+
   [[nodiscard]] RunResult run(const RunConfig& config) const override;
 
   [[nodiscard]] const StencilParams& params() const noexcept { return params_; }

@@ -69,6 +69,21 @@ void BlockedGrid::initialize(std::uint64_t seed, std::size_t patterns, float wal
   }
 }
 
+void BlockedGrid::perturb_from(const BlockedGrid& base, std::uint64_t seed,
+                               double noise) {
+  const auto amp = static_cast<float>(noise);
+  for (std::size_t bi = 0; bi < gb_; ++bi) {
+    for (std::size_t bj = 0; bj < gb_; ++bj) {
+      Rng rng(splitmix64(seed ^ ((bi * gb_ + bj) * 0x9e3779b97f4a7c15ull)));
+      const float* s = base.block(bi, bj);
+      float* d = block(bi, bj);
+      for (std::size_t i = 0; i < bd_ * bd_; ++i) {
+        d[i] = s[i] * (1.0f + rng.next_float(-amp, amp));
+      }
+    }
+  }
+}
+
 std::vector<double> BlockedGrid::flatten() const {
   std::vector<double> out(gb_ * bd_ * gb_ * bd_);
   const std::size_t n = gb_ * bd_;

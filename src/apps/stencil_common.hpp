@@ -77,6 +77,14 @@ class BlockedGrid {
   /// patterns and arm the wall halos at `wall_temp`.
   void initialize(std::uint64_t seed, std::size_t patterns, float wall_temp);
 
+  /// Sensor-frame refresh (tolerance-matching demo): rewrite every interior
+  /// block as `base`'s block with per-cell relative jitter of amplitude
+  /// `noise`, deterministic in (seed, block). Halos are left alone — walls
+  /// keep their emission temperature, interior halos are refreshed by the
+  /// copy tasks. Every block gets distinct jitter, so exact keys never
+  /// repeat across frames while quantized keys still match.
+  void perturb_from(const BlockedGrid& base, std::uint64_t seed, double noise);
+
   /// Row-major global matrix as doubles (the correctness target).
   [[nodiscard]] std::vector<double> flatten() const;
 

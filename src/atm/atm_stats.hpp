@@ -29,6 +29,10 @@ struct AtmStatsSnapshot {
   std::uint64_t copy_out_ns = 0;       ///< THT->task and twin->task output copies
   std::uint64_t update_ns = 0;         ///< task->THT snapshot insertion time
 
+  // --- tolerance-quantized keys (zero unless an epsilon is configured) ---
+  std::uint64_t tolerance_hits = 0;  ///< steady THT hits under quantized keys
+  std::uint64_t probe_hits = 0;      ///< subset served by a neighbor probe key
+
   // --- L2 capacity tier (zero unless AtmConfig::l2_enabled) ---
   std::uint64_t l2_hits = 0;        ///< L1 misses served from the L2 store
   std::uint64_t l2_promotions = 0;  ///< L2 entries reinstated into the THT
@@ -70,6 +74,8 @@ class AtmStats {
   std::atomic<std::uint64_t> key_gather_oob{0};
   std::atomic<std::uint64_t> copy_out_ns{0};
   std::atomic<std::uint64_t> update_ns{0};
+  std::atomic<std::uint64_t> tolerance_hits{0};
+  std::atomic<std::uint64_t> probe_hits{0};
   std::atomic<std::uint64_t> l2_hits{0};
   std::atomic<std::uint64_t> l2_promotions{0};
   std::atomic<std::uint64_t> l2_demotions{0};
@@ -93,6 +99,8 @@ class AtmStats {
     s.key_gather_oob = key_gather_oob.load();
     s.copy_out_ns = copy_out_ns.load();
     s.update_ns = update_ns.load();
+    s.tolerance_hits = tolerance_hits.load();
+    s.probe_hits = probe_hits.load();
     s.l2_hits = l2_hits.load();
     s.l2_promotions = l2_promotions.load();
     s.l2_demotions = l2_demotions.load();
@@ -116,6 +124,8 @@ class AtmStats {
     key_gather_oob = 0;
     copy_out_ns = 0;
     update_ns = 0;
+    tolerance_hits = 0;
+    probe_hits = 0;
     l2_hits = 0;
     l2_promotions = 0;
     l2_demotions = 0;

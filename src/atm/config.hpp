@@ -76,6 +76,18 @@ struct AtmConfig {
   /// most ~5% of the tasks; apps pass explicit L_training instead.
   std::uint64_t training_task_cap = 0;
 
+  // --- tolerance-quantized keys (src/atm/tolerance.hpp, beyond the paper) --
+  /// Relative epsilon for key quantization: sampled float/double elements
+  /// within ~tolerance_rel of a quantization-cell center share a key cell.
+  /// 0 (default) = exact raw-byte keys, bit-identical to the paper's.
+  /// Overridable per task type via rt::AtmParams::tolerance_rel.
+  double tolerance_rel = 0.0;
+  /// Absolute epsilon; takes precedence over tolerance_rel when > 0.
+  double tolerance_abs = 0.0;
+  /// Neighbor probe keys tried on a THT miss (multi-probe lookup for
+  /// near-boundary inputs); capped at kMaxKeyProbes. 0 = primary key only.
+  unsigned tolerance_probes = 0;
+
   // --- L2 capacity tier (src/store/, beyond the paper) ---------------------
   /// Enable the byte-budgeted L2 store behind the THT: capacity evictions
   /// demote into it, steady-state L1 misses probe it and promote on hit.

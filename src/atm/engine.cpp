@@ -111,6 +111,15 @@ std::uint64_t AtmEngine::key_seed(std::uint32_t type_id,
                     layout.fingerprint());
 }
 
+ToleranceSpec AtmEngine::resolve_tolerance(const rt::TaskType& type) const noexcept {
+  const rt::AtmParams& params = type.atm_params();
+  ToleranceSpec spec;
+  spec.rel = params.tolerance_rel >= 0.0 ? params.tolerance_rel : config_.tolerance_rel;
+  spec.abs = params.tolerance_abs >= 0.0 ? params.tolerance_abs : config_.tolerance_abs;
+  spec.probes = config_.tolerance_probes;
+  return spec;
+}
+
 rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size_t lane) {
   if (config_.mode == AtmMode::Off) return Decision::Execute;
   assert(task.type != nullptr);
@@ -130,8 +139,13 @@ rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size
   // instead of a per-byte scatter walk over the shuffled order.
   const GatherPlan& plan = sampler_.plan_for(type.id(), layout, p);
 
+  // Tolerance-quantized keys live in a salted key space: a quantized key
+  // can never alias an exact key, and changing epsilon retires old entries.
+  const ToleranceSpec tol = resolve_tolerance(type);
+  const std::uint64_t seed = key_seed(type.id(), layout) ^ tol.fingerprint();
+
   const std::uint64_t h0 = now_ns();
-  const KeyResult key = compute_key(task, plan, key_seed(type.id(), layout));
+  const KeyResult key = compute_key(task, plan, seed, tol);
   const std::uint64_t h1 = now_ns();
   if (runtime_ != nullptr) {
     runtime_->tracer().record(lane, rt::TraceState::HashKey, h0, h1);
@@ -156,6 +170,25 @@ rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size
       }
       stats_.copy_out_ns.fetch_add(c1 - c0, std::memory_order_relaxed);
       stats_.tht_hits.fetch_add(1, std::memory_order_relaxed);
+      if (tol.active()) stats_.tolerance_hits.fetch_add(1, std::memory_order_relaxed);
+      stats_.log_reuse(creator);
+      return Decision::Hit;
+    }
+    // Multi-probe: a near-boundary input may have been stored one
+    // quantization cell over — try the neighbor keys before giving up.
+    // Probe hits serve the stored entry as-is (nothing is re-inserted, so
+    // jittered variants never crowd the THT with near-duplicate entries).
+    std::size_t which = 0;
+    if (key.probe_count != 0 &&
+        tht_.lookup_multi_and_copy(type.id(), key.probes.data(), key.probe_count, p,
+                                   task, &creator, &c0, &c1, &which)) {
+      if (runtime_ != nullptr) {
+        runtime_->tracer().record(lane, rt::TraceState::Memoize, c0, c1);
+      }
+      stats_.copy_out_ns.fetch_add(c1 - c0, std::memory_order_relaxed);
+      stats_.tht_hits.fetch_add(1, std::memory_order_relaxed);
+      stats_.tolerance_hits.fetch_add(1, std::memory_order_relaxed);
+      stats_.probe_hits.fetch_add(1, std::memory_order_relaxed);
       stats_.log_reuse(creator);
       return Decision::Hit;
     }

@@ -30,6 +30,7 @@
 #include "atm/ikt.hpp"
 #include "atm/input_sampler.hpp"
 #include "atm/tht.hpp"
+#include "atm/tolerance.hpp"
 #include "atm/training.hpp"
 #include "runtime/runtime.hpp"
 #include "store/l2_store.hpp"
@@ -95,6 +96,9 @@ class AtmEngine final : public rt::MemoizationHook {
   TrainingController& controller(const rt::TaskType& type);
   [[nodiscard]] std::uint64_t key_seed(std::uint32_t type_id,
                                        const InputLayout& layout) const noexcept;
+  /// Effective tolerance for a type: engine-wide AtmConfig epsilons unless
+  /// the type's AtmParams override them (>= 0); probes are engine-wide.
+  [[nodiscard]] ToleranceSpec resolve_tolerance(const rt::TaskType& type) const noexcept;
   static void copy_outputs(const rt::Task& producer, rt::Task& consumer) noexcept;
 
   AtmConfig config_;

@@ -3,9 +3,11 @@
 // digests them into the 8-byte key stored in the THT/IKT.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "atm/tolerance.hpp"
 #include "common/hash.hpp"
 #include "runtime/task.hpp"
 
@@ -22,6 +24,11 @@ struct KeyResult {
   /// as out-of-bounds reads. The engine surfaces the count as the
   /// `key_gather_oob` stat; nonzero means a sampler-cache/layout bug.
   std::size_t oob = 0;
+  /// Tolerance-mode neighbor keys (near-boundary sampled elements flipped
+  /// to their adjacent quantization cell), closest-to-boundary first. Zero
+  /// unless computed with an active ToleranceSpec with probes > 0.
+  unsigned probe_count = 0;
+  std::array<HashKey, kMaxKeyProbes> probes{};
 };
 
 /// Compute the hash key of `task` using percentage `p` of its input bytes,
@@ -45,5 +52,20 @@ struct KeyResult {
 /// digest-identical to the order-based full-input fast path.
 [[nodiscard]] KeyResult compute_key(const rt::Task& task, const GatherPlan& plan,
                                     std::uint64_t seed);
+
+/// Tolerance-quantized variants (src/atm/tolerance.hpp): every *element*
+/// touched by the selected bytes is quantized into an error-bounded cell and
+/// XOR-composed into the key, so near-equal inputs produce equal keys and
+/// the digest is gather-order independent — the plan and order paths agree
+/// bit-for-bit, unlike the exact digests above. Near-boundary elements emit
+/// up to spec.probes neighbor keys (KeyResult::probes) for multi-probe THT
+/// lookup. An inactive spec delegates to the exact raw-bytes digests (the
+/// epsilon = 0 fast path): bit-identical keys, no per-element work.
+[[nodiscard]] KeyResult compute_key(const rt::Task& task,
+                                    const std::vector<std::uint32_t>& order, double p,
+                                    std::uint64_t seed, const ToleranceSpec& spec);
+
+[[nodiscard]] KeyResult compute_key(const rt::Task& task, const GatherPlan& plan,
+                                    std::uint64_t seed, const ToleranceSpec& spec);
 
 }  // namespace atm

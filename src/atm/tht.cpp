@@ -136,6 +136,21 @@ bool TaskHistoryTable::lookup_and_copy(std::uint32_t type_id, HashKey key, doubl
   return false;
 }
 
+bool TaskHistoryTable::lookup_multi_and_copy(std::uint32_t type_id, const HashKey* keys,
+                                             std::size_t nkeys, double p,
+                                             rt::Task& consumer, rt::TaskId* creator,
+                                             std::uint64_t* copy_t0,
+                                             std::uint64_t* copy_t1,
+                                             std::size_t* which) {
+  for (std::size_t i = 0; i < nkeys; ++i) {
+    if (lookup_and_copy(type_id, keys[i], p, consumer, creator, copy_t0, copy_t1)) {
+      if (which != nullptr) *which = i;
+      return true;
+    }
+  }
+  return false;
+}
+
 bool TaskHistoryTable::lookup_snapshot(std::uint32_t type_id, HashKey key, double p,
                                        OutputSnapshot* out, rt::TaskId* creator) const {
   const Bucket& b = bucket_for(key);

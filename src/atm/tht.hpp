@@ -97,6 +97,16 @@ class TaskHistoryTable {
                        rt::TaskId* creator, std::uint64_t* copy_t0,
                        std::uint64_t* copy_t1);
 
+  /// Multi-probe hit path (tolerance-quantized keys): try `keys[0..nkeys)`
+  /// in order, copying outputs from the first match. Each probe is an
+  /// independent lookup_and_copy — no cross-bucket lock is ever held, and
+  /// the copy happens exactly once, under the matching bucket's shared
+  /// lock. On success fills `*which` with the index of the matching key.
+  bool lookup_multi_and_copy(std::uint32_t type_id, const HashKey* keys,
+                             std::size_t nkeys, double p, rt::Task& consumer,
+                             rt::TaskId* creator, std::uint64_t* copy_t0,
+                             std::uint64_t* copy_t1, std::size_t* which);
+
   /// Training path: copy the stored snapshot out (the task will execute and
   /// the engine compares the two afterwards).
   bool lookup_snapshot(std::uint32_t type_id, HashKey key, double p, OutputSnapshot* out,

@@ -17,6 +17,11 @@ struct AtmParams {
   /// Per-task Chebyshev relative-error acceptance threshold (tau_max),
   /// expressed as a fraction (0.01 == 1%).
   double tau_max = 0.01;
+  /// Per-type key-quantization epsilons (tolerance-matching keys). Negative
+  /// (default) inherits the engine-wide AtmConfig value; 0 forces exact
+  /// keys for this type even when the engine default is tolerant.
+  double tolerance_rel = -1.0;
+  double tolerance_abs = -1.0;
 };
 
 /// Immutable description of a task type, registered once with the Runtime.

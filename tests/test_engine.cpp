@@ -286,6 +286,120 @@ TEST(Engine, MemoryAccountingIncludesAllStructures) {
   EXPECT_GE(engine.memory_bytes(), before + 4096);  // snapshot + sampler order
 }
 
+// --- tolerance-quantized keys through the engine ---------------------------
+
+TEST(EngineTolerance, JitteredTwinHitsUnderToleranceKeys) {
+  AtmEngine engine({.mode = AtmMode::Static, .tolerance_rel = 1e-3});
+  Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "t", .memoizable = true, .atm = {}});
+
+  std::vector<double> a(16), b(16);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = 1.0 + static_cast<double>(i);
+    b[i] = a[i] * (1.0 + 1e-7);  // inside the 1e-3 cell, outside bit equality
+  }
+  std::vector<double> out1(16), out2(16);
+  std::atomic<int> executions{0};
+  auto body = [&executions](const std::vector<double>& in, std::vector<double>& out) {
+    return [&in, &out, &executions] {
+      executions.fetch_add(1);
+      for (std::size_t i = 0; i < in.size(); ++i) out[i] = 2.0 * in[i];
+    };
+  };
+  runtime.submit(type, body(a, out1), {rt::in(a.data(), 16), rt::out(out1.data(), 16)});
+  runtime.taskwait();
+  runtime.submit(type, body(b, out2), {rt::in(b.data(), 16), rt::out(out2.data(), 16)});
+  runtime.taskwait();
+
+  EXPECT_EQ(executions.load(), 1);  // the jittered twin was served
+  EXPECT_EQ(out1, out2);            // ... with the stored outputs
+  EXPECT_EQ(engine.stats().tht_hits, 1u);
+  EXPECT_EQ(engine.stats().tolerance_hits, 1u);
+  EXPECT_EQ(engine.stats().probe_hits, 0u);  // primary key matched directly
+}
+
+TEST(EngineTolerance, NearBoundaryTwinHitsViaProbe) {
+  // The first task's element sits just below a quantization boundary, the
+  // twin's just above: primary keys differ, the neighbor probe finds it.
+  AtmEngine engine(
+      {.mode = AtmMode::Static, .tolerance_abs = 0.5, .tolerance_probes = 2});
+  Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* type = runtime.register_type(
+      {.name = "t", .memoizable = true, .atm = {}});
+
+  double a = 7.45, b = 7.55;  // boundary between cells 7 and 8 is at 7.5
+  double out1 = 0, out2 = 0;
+  std::atomic<int> executions{0};
+  runtime.submit(type, [&] { executions.fetch_add(1); out1 = a; },
+                 {rt::in(&a, 1), rt::out(&out1, 1)});
+  runtime.taskwait();
+  runtime.submit(type, [&] { executions.fetch_add(1); out2 = b; },
+                 {rt::in(&b, 1), rt::out(&out2, 1)});
+  runtime.taskwait();
+
+  EXPECT_EQ(executions.load(), 1);
+  EXPECT_EQ(out2, 7.45);  // served from the stored neighbor entry
+  EXPECT_EQ(engine.stats().tht_hits, 1u);
+  EXPECT_EQ(engine.stats().tolerance_hits, 1u);
+  EXPECT_EQ(engine.stats().probe_hits, 1u);
+}
+
+TEST(EngineTolerance, PerTypeOverrideForcesExactKeys) {
+  // Engine-wide tolerance on, but the type pins tolerance to 0: jittered
+  // twins must NOT match (exact raw-byte keys), identical twins still do.
+  AtmEngine engine({.mode = AtmMode::Static, .tolerance_rel = 1e-3});
+  Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* exact_type = runtime.register_type(
+      {.name = "exact",
+       .memoizable = true,
+       .atm = {.tolerance_rel = 0.0, .tolerance_abs = 0.0}});
+
+  std::vector<double> a(8, 3.0);
+  auto b = a;
+  for (auto& v : b) v *= 1.0 + 1e-7;
+  std::vector<double> out(8);
+  std::atomic<int> executions{0};
+  auto submit = [&](std::vector<double>& in) {
+    runtime.submit(exact_type, [&] { executions.fetch_add(1); },
+                   {rt::in(in.data(), 8), rt::out(out.data(), 8)});
+    runtime.taskwait();
+  };
+  submit(a);
+  submit(b);  // jittered: must execute
+  submit(a);  // exact twin: must hit
+  EXPECT_EQ(executions.load(), 2);
+  EXPECT_EQ(engine.stats().tht_hits, 1u);
+  EXPECT_EQ(engine.stats().tolerance_hits, 0u);  // the hit was an exact one
+}
+
+TEST(EngineTolerance, PerTypeOverrideEnablesToleranceKeys) {
+  // Engine-wide exact keys, but the type opts into tolerance matching.
+  AtmEngine engine({.mode = AtmMode::Static});
+  Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* tol_type = runtime.register_type(
+      {.name = "tol", .memoizable = true, .atm = {.tolerance_rel = 1e-3}});
+
+  std::vector<double> a(8, 3.0);
+  auto b = a;
+  for (auto& v : b) v *= 1.0 + 1e-7;
+  std::vector<double> out(8);
+  std::atomic<int> executions{0};
+  auto submit = [&](std::vector<double>& in) {
+    runtime.submit(tol_type, [&] { executions.fetch_add(1); },
+                   {rt::in(in.data(), 8), rt::out(out.data(), 8)});
+    runtime.taskwait();
+  };
+  submit(a);
+  submit(b);  // inside the cell: must hit
+  EXPECT_EQ(executions.load(), 1);
+  EXPECT_EQ(engine.stats().tolerance_hits, 1u);
+}
+
 TEST(Engine, StatsResetClearsCounters) {
   AtmEngine engine({.mode = AtmMode::Static});
   Runtime runtime({.num_threads = 1});

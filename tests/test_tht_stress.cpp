@@ -139,6 +139,94 @@ TEST(ThtStress, ConcurrentChurnWithEvictionSink) {
   }
 }
 
+TEST(ThtStress, MultiProbeConcurrentNeighborHits) {
+  // Tolerance-mode lookups probe a primary key plus neighbor keys via
+  // lookup_multi_and_copy. Under concurrent insert churn: a hit must report
+  // which key matched, copy that entry's payload intact (no blend of two
+  // probes' entries — the scan stops at the first hit), and a list whose
+  // keys are all absent must miss.
+  TaskHistoryTable tht(4, 4);  // 16 buckets x 4: room for most of the keys
+  std::vector<std::vector<float>> payloads(kKeys);
+  for (int k = 0; k < kKeys; ++k) {
+    payloads[k].assign(kPayloadFloats, static_cast<float>(k));
+  }
+  // Keys never handed to insert: probing them must never hit.
+  const auto bogus = [](int k) {
+    return static_cast<HashKey>(0xb0b0'0000'0000'0000ULL + static_cast<HashKey>(k));
+  };
+
+  std::atomic<int> torn_reads{0};
+  std::atomic<int> probe_hits{0};
+  std::atomic<int> bogus_hits{0};
+  constexpr int kThreads = 4, kIters = 600;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<float> sink(kPayloadFloats);
+      for (int i = 0; i < kIters; ++i) {
+        const int k = (i * 7 + t * 31) % kKeys;
+        auto producer = make_task(payloads[k].data(), kPayloadFloats,
+                                  static_cast<rt::TaskId>(k));
+        tht.insert(0, static_cast<HashKey>(k), 1.0, producer);
+
+        // The "jittered twin" case: the primary key landed one cell over
+        // (absent), the real entry is reachable only through probe 1.
+        const HashKey probes[3] = {bogus(k), static_cast<HashKey>(k), bogus(k + 1)};
+        auto consumer = make_task(sink.data(), kPayloadFloats, 9999);
+        rt::TaskId creator = 0;
+        std::size_t which = 99;
+        if (tht.lookup_multi_and_copy(0, probes, 3, 1.0, consumer, &creator, nullptr,
+                                      nullptr, &which)) {
+          probe_hits.fetch_add(1);
+          if (which != 1) torn_reads.fetch_add(1);
+          if (creator != static_cast<rt::TaskId>(k)) torn_reads.fetch_add(1);
+          for (float f : sink) {
+            if (f != static_cast<float>(k)) {
+              torn_reads.fetch_add(1);
+              break;
+            }
+          }
+        }
+
+        // Two live keys in one list: the first match wins — the payload must
+        // be k's, never the second key's (exactly one copy-out).
+        const int k2 = (k + 1) % kKeys;
+        auto producer2 = make_task(payloads[k2].data(), kPayloadFloats,
+                                   static_cast<rt::TaskId>(k2));
+        tht.insert(0, static_cast<HashKey>(k2), 1.0, producer2);
+        const HashKey both[2] = {static_cast<HashKey>(k), static_cast<HashKey>(k2)};
+        which = 99;
+        if (tht.lookup_multi_and_copy(0, both, 2, 1.0, consumer, &creator, nullptr,
+                                      nullptr, &which)) {
+          if (which >= 2) {
+            torn_reads.fetch_add(1);
+            continue;
+          }
+          const int hit_k = which == 0 ? k : k2;
+          if (creator != static_cast<rt::TaskId>(hit_k)) torn_reads.fetch_add(1);
+          for (float f : sink) {
+            if (f != static_cast<float>(hit_k)) {
+              torn_reads.fetch_add(1);
+              break;
+            }
+          }
+        }
+
+        // All-absent list: must miss even while inserts race.
+        const HashKey absent[3] = {bogus(k), bogus(k + 1), bogus(k + 2)};
+        if (tht.lookup_multi_and_copy(0, absent, 3, 1.0, consumer, nullptr, nullptr,
+                                      nullptr, &which)) {
+          bogus_hits.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(torn_reads.load(), 0);
+  EXPECT_EQ(bogus_hits.load(), 0);
+  EXPECT_GT(probe_hits.load(), 0);
+}
+
 TEST(ThtStress, LruModeConcurrentChurn) {
   // LRU takes the exclusive-lock path on every hit; make sure the
   // move-to-back dance survives concurrent readers and writers.

@@ -27,6 +27,14 @@
 //   --load-store=PATH      warm-start from a saved store (zero training);
 //                          a missing/corrupt/version- or endianness-
 //                          mismatched snapshot aborts the run (exit 2)
+//   --tolerance[=F]        tolerance-quantized memo keys: relative epsilon F
+//                          (bare --tolerance uses each app's preset)
+//   --tolerance-abs=F      absolute epsilon (overrides relative on overlap)
+//   --probes=K             multi-probe lookups: also try K quantization
+//                          neighbors on a primary-key miss   (default: 0)
+//   --noise=F              noisy-sensor demo: re-read inputs each iteration
+//                          with relative jitter F (deterministic per
+//                          iteration, so --baseline stays an exact reference)
 //   --trace                print the per-core ASCII timeline
 //   --stats                print runtime observability per app: two-level
 //                          dependence-index counters (exact hits / tree
@@ -36,9 +44,11 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <span>
 #include <string>
 
 #include "apps/app_registry.hpp"
+#include "atm/error_metric.hpp"
 #include "common/table.hpp"
 #include "store/snapshot_io.hpp"
 
@@ -54,6 +64,7 @@ struct Options {
   bool trace = false;
   bool stats = false;
   bool baseline = false;
+  bool tol_preset = false;  ///< bare --tolerance: use each app's epsilon preset
 };
 
 bool parse_flag(const char* arg, const char* name, const char** value) {
@@ -78,6 +89,7 @@ int usage(const char* argv0) {
                "          [--no-type-aware] [--verify-full-inputs] [--lru]\n"
                "          [--n=K] [--m=K] [--l2] [--l2-budget-mb=K] [--l2-shards=K]\n"
                "          [--l2-compress] [--save-store=PATH] [--load-store=PATH]\n"
+               "          [--tolerance[=F]] [--tolerance-abs=F] [--probes=K] [--noise=F]\n"
                "          [--trace] [--stats] [--baseline]\n",
                argv0);
   return 2;
@@ -149,6 +161,19 @@ bool parse(int argc, char** argv, Options* opts) {
     } else if (parse_flag(arg, "--m", &value)) {
       opts->config.bucket_capacity =
           static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+    } else if (parse_flag(arg, "--tolerance-abs", &value)) {
+      opts->config.tolerance_abs = std::strtod(value, nullptr);
+    } else if (parse_flag(arg, "--tolerance", &value)) {
+      if (value[0] == '\0') {
+        opts->tol_preset = true;  // resolved per app in run_one
+      } else {
+        opts->config.tolerance_rel = std::strtod(value, nullptr);
+      }
+    } else if (parse_flag(arg, "--probes", &value)) {
+      opts->config.tolerance_probes =
+          static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+    } else if (parse_flag(arg, "--noise", &value)) {
+      opts->config.input_noise = std::strtod(value, nullptr);
     } else if (parse_flag(arg, "--trace", &value)) {
       opts->trace = true;
       opts->config.tracing = true;
@@ -165,16 +190,32 @@ bool parse(int argc, char** argv, Options* opts) {
 
 void run_one(const App& app, const Options& opts, TablePrinter* table,
              TablePrinter* stats_table) {
+  RunConfig config = opts.config;
+  if (opts.tol_preset && config.tolerance_rel == 0.0) {
+    config.tolerance_rel = app.tolerance_preset();
+  }
   RunResult baseline;
   if (opts.baseline) {
-    RunConfig off = opts.config;
+    // Same inputs (the per-iteration jitter is deterministic), memoization
+    // off: the exact reference for speedup and output error.
+    RunConfig off = config;
     off.mode = AtmMode::Off;
     off.tracing = false;
     baseline = app.run(off);
   }
-  const RunResult run = app.run(opts.config);
+  const RunResult run = app.run(config);
 
   const bool l2 = opts.config.l2_enabled;
+  const bool tol = config.tolerance_rel > 0.0 || config.tolerance_abs > 0.0;
+  std::string tol_cell = "-";
+  if (tol) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.0e/%u",
+                  config.tolerance_abs > 0.0 ? config.tolerance_abs
+                                             : config.tolerance_rel,
+                  config.tolerance_probes);
+    tol_cell = buf;
+  }
   std::vector<std::string> row{
       app.name(),
       atm_mode_name(opts.config.mode),
@@ -190,11 +231,23 @@ void run_one(const App& app, const Options& opts, TablePrinter* table,
       fmt_bytes(run.atm_memory_bytes),
       // Resident store bytes (L2 payload + index), inside "ATM mem" above.
       l2 ? fmt_bytes(run.atm.l2_memory_bytes) : "-",
+      // Tolerance matching: epsilon/probes and tolerance-path hit counts.
+      tol_cell,
+      tol ? std::to_string(run.atm.tolerance_hits) + "/" +
+                std::to_string(run.atm.probe_hits)
+          : "-",
   };
   if (opts.baseline) {
     row.push_back(fmt_speedup(baseline.wall_seconds / run.wall_seconds));
     row.push_back(fmt_double(correctness_percent(app.program_error(baseline, run)), 2) +
                   "%");
+    // Measured max relative output error vs the exact reference (the bound
+    // the tolerance epsilon promises to respect).
+    const double max_rel = chebyshev_relative_error(
+        std::span<const double>(baseline.output), std::span<const double>(run.output));
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2e", max_rel);
+    row.emplace_back(buf);
   }
   table->add_row(std::move(row));
 
@@ -242,10 +295,12 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> header{"Benchmark", "Mode",     "Wall",      "Reuse",
                                   "Tasks",     "THT hits", "IKT hits",  "L2 h/d",
-                                  "p",         "ATM mem",  "Store mem"};
+                                  "p",         "ATM mem",  "Store mem", "Tol/Pr",
+                                  "Tol h/p"};
   if (opts.baseline) {
     header.push_back("Speedup");
     header.push_back("Correctness");
+    header.push_back("MaxRelErr");
   }
   TablePrinter table(std::move(header));
   TablePrinter stats_table({"Benchmark", "Dep exact", "Dep tree", "Prune scans",

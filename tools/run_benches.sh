@@ -7,11 +7,12 @@
 #           quick           non-timing smoke: ATM_SCALE=test, ATM_REPS=1,
 #                           and only the fast inspection/correctness set —
 #                           validates that the harnesses run, not timings
-#           json            machine-readable results: runs pr5_hotpath and
-#                           writes BENCH_pr5.json (or [json-out]) — bench
-#                           name -> ns/op plus derived speedups and reuse %.
-#                           Storm bench names match BENCH_pr4/pr3.json, so
-#                           the checked-in files A/B directly across PRs;
+#           json            machine-readable results: runs pr6_tolerance and
+#                           writes BENCH_pr6.json (or [json-out]) — bench
+#                           name -> ns/op plus derived speedups, reuse % and
+#                           the tolerance accuracy/reuse sweep. Storm bench
+#                           names match BENCH_pr5/pr4/pr3.json, so the
+#                           checked-in files A/B directly across PRs;
 #                           earlier BENCH_prN.json files are never
 #                           overwritten (append-only history).
 #
@@ -37,7 +38,8 @@ case "$PRESET" in
     BENCHES="table1_workloads table2_params table3_memory table4_tiered_store \
              fig3_speedup fig4_correctness fig5_p_sensitivity fig6_scalability \
              fig7_trace_gs fig8_trace_blackscholes fig9_reuse_cdf \
-             ablation_sizing pr3_hotpath pr4_hotpath pr5_hotpath micro_atm"
+             ablation_sizing pr3_hotpath pr4_hotpath pr5_hotpath pr6_tolerance \
+             micro_atm"
     ;;
   quick)
     # The timing-heavy sweeps (fig5/fig6/ablation run 16+ full configs) are
@@ -49,8 +51,8 @@ case "$PRESET" in
     export ATM_SCALE ATM_REPS
     ;;
   json)
-    OUT="${3:-BENCH_pr5.json}"
-    bin="$BUILD_DIR/pr5_hotpath"
+    OUT="${3:-BENCH_pr6.json}"
+    bin="$BUILD_DIR/pr6_tolerance"
     if [ ! -x "$bin" ]; then
       echo "error: $bin not built (cmake --build $BUILD_DIR --target bench)" >&2
       exit 1
