@@ -23,7 +23,11 @@ rt::RuntimeConfig runtime_config(const RunConfig& config) {
           .sched = config.sched,
           .graph_log2_shards = config.graph_log2_shards,
           .arena_block_tasks = config.arena_block_tasks,
-          .help_taskwait = config.help_taskwait};
+          .help_taskwait = config.help_taskwait,
+          .metrics = config.metrics,
+          .metrics_interval_ms = config.metrics_interval_ms,
+          .metrics_live = config.metrics_live,
+          .profile_tasks = config.profile_tasks};
 }
 
 std::unique_ptr<AtmEngine> make_engine(const RunConfig& config) {
@@ -45,6 +49,7 @@ std::unique_ptr<AtmEngine> make_engine(const RunConfig& config) {
   c.l2_budget_bytes = config.l2_budget_bytes;
   c.l2_log2_shards = config.l2_log2_shards;
   c.l2_compress = config.l2_compress;
+  c.reuse_log_cap = config.reuse_log_cap;
   auto engine = std::make_unique<AtmEngine>(c);
   if (!config.load_store_path.empty()) {
     std::string error;
@@ -88,10 +93,17 @@ void finalize_result(RunResult& result, rt::Runtime& runtime, AtmEngine* engine,
     const auto& tracer = runtime.tracer();
     for (std::size_t lane = 0; lane < tracer.lane_count(); ++lane) {
       result.lane_summaries.push_back(tracer.summarize_lane(lane));
+      result.trace_lanes.push_back(tracer.lane(lane));
     }
+    result.trace_master_lane = tracer.master_lane();
     result.depth_samples = tracer.depth_samples();
     result.ascii_timeline = tracer.ascii_timeline();
   }
+  // Harvest the sampler series first (stops the sampler thread), then take
+  // the final registry snapshot — it includes everything the collectors see
+  // at end-of-run, so harnesses get one coherent closing picture.
+  result.metrics_series = runtime.metrics_series();
+  if (config.metrics) result.metrics = runtime.metrics().snapshot();
 }
 
 namespace {

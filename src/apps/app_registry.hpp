@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "atm_lib.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 
 namespace atm::apps {
 
@@ -64,6 +66,22 @@ struct RunConfig {
   std::string load_store_path{};
   /// Persist the trained store to this path after the run (empty = don't).
   std::string save_store_path{};
+
+  // --- observability (src/obs/) ---
+  /// Register the runtime/engine metric collectors on the unified registry.
+  /// Off skips registration entirely (the A/B baseline for the overhead
+  /// gate); the raw subsystem atomics still count either way.
+  bool metrics = true;
+  /// Background sampler period; 0 = no sampler thread. The sampled series
+  /// lands in RunResult::metrics_series.
+  std::uint64_t metrics_interval_ms = 0;
+  /// Emit one stderr line per sampler tick (`atm_run --stats-interval`).
+  bool metrics_live = false;
+  /// Per-task-type execution-latency histograms (task.<name>.exec_ns).
+  /// Opt-in: adds two clock reads around every task body.
+  bool profile_tasks = false;
+  /// Cap on the engine's per-hit reuse-creator log (AtmConfig::reuse_log_cap).
+  std::size_t reuse_log_cap = std::size_t{1} << 20;
 };
 
 /// Everything a run reports back to the harnesses.
@@ -96,6 +114,17 @@ struct RunResult {
   std::vector<rt::LaneSummary> lane_summaries;
   std::vector<rt::DepthSample> depth_samples;
   std::string ascii_timeline;
+  /// Raw per-lane event timelines (only when RunConfig::tracing), copied
+  /// out so the harness can export them (obs::chrome_trace_json) after the
+  /// runtime is gone. trace_master_lane indexes the master thread's lane.
+  std::vector<std::vector<rt::TraceEvent>> trace_lanes;
+  std::size_t trace_master_lane = 0;
+
+  /// Unified-registry snapshot taken at the end of the run (empty when
+  /// RunConfig::metrics is off — nothing was registered).
+  obs::RegistrySnapshot metrics;
+  /// Background sampler series (empty unless RunConfig::metrics_interval_ms).
+  obs::MetricsSampler::Series metrics_series;
 
   /// Reuse fraction: memoized tasks / total tasks of the memoized type
   /// (the paper's "Reuse" metric, §IV-C).

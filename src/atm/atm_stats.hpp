@@ -52,7 +52,11 @@ struct AtmStatsSnapshot {
 
   /// Reuse events in completion order: the creator task id whose stored
   /// outputs satisfied a consumer (THT hit, IKT hit, or training hit).
+  /// Bounded: at most the configured cap entries; the overflow is counted.
   std::vector<rt::TaskId> reuse_creators;
+  /// Reuse events dropped once the log hit its cap (Figure 9 needs the
+  /// curve's head, not an unbounded per-hit record of a long stream).
+  std::uint64_t reuse_log_dropped = 0;
 
   [[nodiscard]] std::uint64_t total_hits() const noexcept {
     return tht_hits + ikt_hits + l2_hits;
@@ -80,9 +84,28 @@ class AtmStats {
   std::atomic<std::uint64_t> l2_promotions{0};
   std::atomic<std::uint64_t> l2_demotions{0};
 
+  /// Cap on the reuse-creator log. Default keeps every Figure-9-scale run
+  /// intact; long streams stop growing (and stop taking the mutex) here.
+  static constexpr std::size_t kDefaultReuseLogCap = 1u << 20;
+
+  /// Must be called before the run (not thread-safe against log_reuse).
+  void set_reuse_log_cap(std::size_t cap) { reuse_log_cap_ = cap; }
+  [[nodiscard]] std::size_t reuse_log_cap() const noexcept { return reuse_log_cap_; }
+
   void log_reuse(rt::TaskId creator) {
+    // Fast path once capped: a relaxed size check keeps a long stream of
+    // hits off the mutex entirely (the log can no longer change).
+    if (reuse_size_.load(std::memory_order_relaxed) >= reuse_log_cap_) {
+      reuse_log_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     std::lock_guard<std::mutex> lock(reuse_mutex_);
+    if (reuse_creators_.size() >= reuse_log_cap_) {
+      reuse_log_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     reuse_creators_.push_back(creator);
+    reuse_size_.store(reuse_creators_.size(), std::memory_order_relaxed);
   }
 
   [[nodiscard]] AtmStatsSnapshot snapshot() const {
@@ -104,6 +127,7 @@ class AtmStats {
     s.l2_hits = l2_hits.load();
     s.l2_promotions = l2_promotions.load();
     s.l2_demotions = l2_demotions.load();
+    s.reuse_log_dropped = reuse_log_dropped_.load();
     {
       std::lock_guard<std::mutex> lock(reuse_mutex_);
       s.reuse_creators = reuse_creators_;
@@ -129,11 +153,16 @@ class AtmStats {
     l2_hits = 0;
     l2_promotions = 0;
     l2_demotions = 0;
+    reuse_log_dropped_.store(0, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(reuse_mutex_);
     reuse_creators_.clear();
+    reuse_size_.store(0, std::memory_order_relaxed);
   }
 
  private:
+  std::size_t reuse_log_cap_ = kDefaultReuseLogCap;
+  std::atomic<std::size_t> reuse_size_{0};
+  std::atomic<std::uint64_t> reuse_log_dropped_{0};
   mutable std::mutex reuse_mutex_;
   std::vector<rt::TaskId> reuse_creators_;
 };

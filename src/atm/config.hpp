@@ -98,6 +98,12 @@ struct AtmConfig {
   unsigned l2_log2_shards = 4;
   /// Compress demoted snapshots (byte-wise RLE with raw fallback).
   bool l2_compress = false;
+
+  // --- observability -------------------------------------------------------
+  /// Cap on the per-hit reuse-creator log (Figure 9's raw data). Past the
+  /// cap, hits count into reuse_log_dropped instead of growing the vector —
+  /// long streams previously grew it one entry per hit under a mutex.
+  std::size_t reuse_log_cap = 1u << 20;
 };
 
 }  // namespace atm

@@ -43,6 +43,15 @@ OutputSnapshot to_snapshot(store::MemoEntry&& entry) {
   return snap;
 }
 
+/// Bytes a hit delivered without execution (the per-type bytes_saved metric).
+std::size_t output_bytes(const rt::Task& task) noexcept {
+  std::size_t n = 0;
+  for (const auto& a : task.accesses) {
+    if (a.is_output()) n += a.bytes;
+  }
+  return n;
+}
+
 }  // namespace
 
 AtmEngine::AtmEngine(AtmConfig config)
@@ -51,6 +60,7 @@ AtmEngine::AtmEngine(AtmConfig config)
            config.verify_full_inputs, config.eviction),
       ikt_(),
       sampler_(config.type_aware, config.shuffle_seed) {
+  stats_.set_reuse_log_cap(config_.reuse_log_cap);
   if (config_.l2_enabled) {
     l2_ = std::make_unique<store::L2CapacityStore>(store::L2Config{
         .budget_bytes = config_.l2_budget_bytes,
@@ -65,7 +75,96 @@ AtmEngine::AtmEngine(AtmConfig config)
   }
 }
 
-void AtmEngine::on_attach(rt::Runtime& runtime) { runtime_ = &runtime; }
+AtmEngine::~AtmEngine() {
+  if (runtime_ != nullptr) {
+    // Still attached: have the runtime forget us (it calls back into
+    // on_detach, which drops the collector). A runtime that died first
+    // already detached us in its destructor, so runtime_ never dangles.
+    runtime_->attach_memoizer(nullptr);
+  }
+}
+
+void AtmEngine::on_detach(rt::Runtime& runtime) {
+  // A stale detach from a runtime we have since left must not tear down
+  // the registration we hold on the current one.
+  if (&runtime != runtime_) return;
+  release_registry();
+}
+
+void AtmEngine::release_registry() {
+  if (collector_registered_ && metrics_ != nullptr) {
+    metrics_->remove_collector(collector_id_);
+  }
+  collector_registered_ = false;
+  metrics_ = nullptr;
+  runtime_ = nullptr;
+  // The profile instruments lived in the departing runtime's registry;
+  // drop the cache so a later re-attach recreates them on the new one.
+  std::lock_guard<std::mutex> lock(profiles_mutex_);
+  for (auto& slot : profiles_) slot.store(nullptr, std::memory_order_release);
+  profile_storage_.clear();
+}
+
+void AtmEngine::on_attach(rt::Runtime& runtime) {
+  if (metrics_ != nullptr) release_registry();  // re-attach: leave the old registry
+  runtime_ = &runtime;
+  // Adopt the runtime's registry: the AtmStats atomics (which remain the
+  // engine's C++ view) export by name through one collector, and per-type
+  // profiles register their instruments on it lazily.
+  metrics_ = &runtime.metrics();
+  collector_id_ = metrics_->add_collector([this](obs::SampleSink& sink) {
+    const AtmStatsSnapshot s = stats();
+    sink.counter("atm.tht_hits", s.tht_hits, "tasks", "engine");
+    sink.counter("atm.tht_misses", s.tht_misses, "tasks", "engine");
+    sink.counter("atm.ikt_hits", s.ikt_hits, "tasks", "engine");
+    sink.counter("atm.training_hits", s.training_hits, "tasks", "engine");
+    sink.counter("atm.training_failures", s.training_failures, "tasks", "engine");
+    sink.counter("atm.blacklist_skips", s.blacklist_skips, "tasks", "engine");
+    sink.counter("atm.keys_computed", s.keys_computed, "keys", "engine");
+    sink.counter("atm.hash_ns", s.hash_ns, "ns", "engine");
+    sink.counter("atm.hash_bytes", s.hash_bytes, "bytes", "engine");
+    sink.counter("atm.key_gather_oob", s.key_gather_oob, "events", "engine");
+    sink.counter("atm.copy_out_ns", s.copy_out_ns, "ns", "engine");
+    sink.counter("atm.update_ns", s.update_ns, "ns", "engine");
+    sink.counter("atm.tolerance_hits", s.tolerance_hits, "tasks", "engine");
+    sink.counter("atm.probe_hits", s.probe_hits, "tasks", "engine");
+    sink.counter("atm.reuse_log_dropped", s.reuse_log_dropped, "events", "engine");
+    sink.counter("atm.l2_hits", s.l2_hits, "tasks", "l2_store");
+    sink.counter("atm.l2_promotions", s.l2_promotions, "entries", "l2_store");
+    sink.counter("atm.l2_demotions", s.l2_demotions, "entries", "l2_store");
+    sink.counter("atm.l2_evictions", s.l2_evictions, "entries", "l2_store");
+    sink.gauge("atm.l2_entries", static_cast<std::int64_t>(s.l2_entries),
+               "entries", "l2_store");
+    sink.gauge("atm.l2_payload_bytes",
+               static_cast<std::int64_t>(s.l2_payload_bytes), "bytes", "l2_store");
+    sink.gauge("atm.l2_memory_bytes",
+               static_cast<std::int64_t>(s.l2_memory_bytes), "bytes", "l2_store");
+    sink.gauge("atm.memory_bytes", static_cast<std::int64_t>(memory_bytes()),
+               "bytes", "engine");
+  });
+  collector_registered_ = true;
+}
+
+AtmEngine::TypeProfile* AtmEngine::profile_for(const rt::TaskType& type) {
+  if (metrics_ == nullptr || type.id() >= kMaxProfiledTypes) return nullptr;
+  TypeProfile* p = profiles_[type.id()].load(std::memory_order_acquire);
+  if (p != nullptr) return p;
+  std::lock_guard<std::mutex> lock(profiles_mutex_);
+  p = profiles_[type.id()].load(std::memory_order_relaxed);
+  if (p != nullptr) return p;
+  auto prof = std::make_unique<TypeProfile>();
+  const std::string base = "atm.type." + type.name() + ".";
+  prof->hits = metrics_->counter(base + "hits", "tasks", "engine");
+  prof->misses = metrics_->counter(base + "misses", "tasks", "engine");
+  prof->bytes_saved = metrics_->counter(base + "bytes_saved", "bytes", "engine");
+  prof->hash_ns = metrics_->histogram(base + "hash_ns", "ns", "engine");
+  prof->copy_ns = metrics_->histogram(base + "copy_ns", "ns", "engine");
+  prof->update_ns = metrics_->histogram(base + "update_ns", "ns", "engine");
+  p = prof.get();
+  profile_storage_.push_back(std::move(prof));
+  profiles_[type.id()].store(p, std::memory_order_release);
+  return p;
+}
 
 TrainingController& AtmEngine::controller(const rt::TaskType& type) {
   std::lock_guard<std::mutex> lock(controllers_mutex_);
@@ -150,6 +249,10 @@ rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size
   if (runtime_ != nullptr) {
     runtime_->tracer().record(lane, rt::TraceState::HashKey, h0, h1);
   }
+  // Per-type profile: every record below reuses a timestamp this function
+  // takes anyway, so profiling adds relaxed increments only.
+  TypeProfile* prof = profile_for(type);
+  if (prof != nullptr) prof->hash_ns->record(h1 - h0);
   stats_.keys_computed.fetch_add(1, std::memory_order_relaxed);
   stats_.hash_ns.fetch_add(h1 - h0, std::memory_order_relaxed);
   stats_.hash_bytes.fetch_add(key.bytes_hashed, std::memory_order_relaxed);
@@ -172,6 +275,11 @@ rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size
       stats_.tht_hits.fetch_add(1, std::memory_order_relaxed);
       if (tol.active()) stats_.tolerance_hits.fetch_add(1, std::memory_order_relaxed);
       stats_.log_reuse(creator);
+      if (prof != nullptr) {
+        prof->hits->inc();
+        prof->bytes_saved->inc(output_bytes(task));
+        prof->copy_ns->record(c1 - c0);
+      }
       return Decision::Hit;
     }
     // Multi-probe: a near-boundary input may have been stored one
@@ -190,9 +298,15 @@ rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size
       stats_.tolerance_hits.fetch_add(1, std::memory_order_relaxed);
       stats_.probe_hits.fetch_add(1, std::memory_order_relaxed);
       stats_.log_reuse(creator);
+      if (prof != nullptr) {
+        prof->hits->inc();
+        prof->bytes_saved->inc(output_bytes(task));
+        prof->copy_ns->record(c1 - c0);
+      }
       return Decision::Hit;
     }
     stats_.tht_misses.fetch_add(1, std::memory_order_relaxed);
+    if (prof != nullptr) prof->misses->inc();
 
     if (l2_ != nullptr) {
       // Fall through to the capacity tier; on hit, promote the entry back
@@ -214,6 +328,11 @@ rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size
           stats_.l2_hits.fetch_add(1, std::memory_order_relaxed);
           stats_.l2_promotions.fetch_add(1, std::memory_order_relaxed);
           stats_.log_reuse(entry_creator);
+          if (prof != nullptr) {
+            prof->hits->inc();
+            prof->bytes_saved->inc(output_bytes(task));
+            prof->copy_ns->record(c1 - c0);
+          }
           return Decision::Hit;
         }
         // Shape drifted (same key, different output layout): put the entry
@@ -300,6 +419,7 @@ void AtmEngine::on_task_executed(rt::Task& task, std::size_t lane) {
     runtime_->tracer().record(lane, rt::TraceState::Memoize, u0, u1);
   }
   stats_.update_ns.fetch_add(u1 - u0, std::memory_order_relaxed);
+  if (TypeProfile* prof = profile_for(type)) prof->update_ns->record(u1 - u0);
 
   // 3. Retire from the IKT and fulfill postponed copies: every consumer
   //    that deferred on us gets our outputs and completes now.

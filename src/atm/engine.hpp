@@ -19,13 +19,17 @@
 //        fulfill postponed copies ──► complete deferred consumers.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "atm/atm_stats.hpp"
+#include "obs/metrics.hpp"
 #include "atm/config.hpp"
 #include "atm/ikt.hpp"
 #include "atm/input_sampler.hpp"
@@ -41,7 +45,12 @@ namespace atm {
 class AtmEngine final : public rt::MemoizationHook {
  public:
   explicit AtmEngine(AtmConfig config);
-  ~AtmEngine() override = default;
+  /// Detaches from the runtime (if still attached), deregistering the
+  /// engine's metrics collector: apps routinely destroy the engine and
+  /// runtime in either order, and a collector capturing `this` must not
+  /// outlive it — nor may the engine touch a registry that died with its
+  /// runtime (the runtime calls on_detach() from its destructor).
+  ~AtmEngine() override;
 
   AtmEngine(const AtmEngine&) = delete;
   AtmEngine& operator=(const AtmEngine&) = delete;
@@ -50,6 +59,7 @@ class AtmEngine final : public rt::MemoizationHook {
   Decision on_task_ready(rt::Task& task, std::size_t lane) override;
   void on_task_executed(rt::Task& task, std::size_t lane) override;
   void on_attach(rt::Runtime& runtime) override;
+  void on_detach(rt::Runtime& runtime) override;
 
   // --- observability ---
   [[nodiscard]] const AtmConfig& config() const noexcept { return config_; }
@@ -93,6 +103,28 @@ class AtmEngine final : public rt::MemoizationHook {
     rt::TaskId creator = 0;
   };
 
+  /// Per-task-type profile on the unified registry: hit rate, bytes the
+  /// hits saved, and the latency distributions of the three engine phases
+  /// (all recorded from timestamps the engine already takes — no extra
+  /// clock reads). Named atm.type.<name>.{hits,misses,bytes_saved,
+  /// hash_ns,copy_ns,update_ns}.
+  struct TypeProfile {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* bytes_saved = nullptr;
+    obs::LatencyHistogram* hash_ns = nullptr;
+    obs::LatencyHistogram* copy_ns = nullptr;
+    obs::LatencyHistogram* update_ns = nullptr;
+  };
+
+  /// Lazily created profile for `type`; nullptr before on_attach (no
+  /// registry yet) or past kMaxProfiledTypes.
+  TypeProfile* profile_for(const rt::TaskType& type);
+
+  /// Drop everything registered on the current runtime's registry: the
+  /// collector and the cached per-type profile instruments.
+  void release_registry();
+
   TrainingController& controller(const rt::TaskType& type);
   [[nodiscard]] std::uint64_t key_seed(std::uint32_t type_id,
                                        const InputLayout& layout) const noexcept;
@@ -103,6 +135,15 @@ class AtmEngine final : public rt::MemoizationHook {
 
   AtmConfig config_;
   rt::Runtime* runtime_ = nullptr;
+  /// The runtime's registry, adopted at on_attach.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::size_t collector_id_ = 0;
+  bool collector_registered_ = false;
+
+  static constexpr std::size_t kMaxProfiledTypes = 256;
+  std::array<std::atomic<TypeProfile*>, kMaxProfiledTypes> profiles_{};
+  std::mutex profiles_mutex_;
+  std::vector<std::unique_ptr<TypeProfile>> profile_storage_;
   TaskHistoryTable tht_;
   InFlightKeyTable ikt_;
   InputSampler sampler_;

@@ -1,0 +1,295 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace atm::obs {
+
+namespace {
+
+[[nodiscard]] std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Quantile estimate from a log2-bucket CDF: walk to the bucket holding the
+/// q-th sample, then interpolate linearly inside it. Exact for the bucket
+/// boundaries, geometric-resolution inside (good enough for p50/p95/p99 of
+/// latency distributions spanning decades).
+double bucket_quantile(const std::uint64_t (&counts)[LatencyHistogram::kBuckets],
+                       std::uint64_t total, std::uint64_t max, double q) {
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const double lo_rank = static_cast<double>(seen);
+    seen += counts[i];
+    if (rank >= static_cast<double>(seen)) continue;
+    const double lo = static_cast<double>(LatencyHistogram::bucket_lo(i));
+    double hi = i + 1 < LatencyHistogram::kBuckets
+                    ? static_cast<double>(LatencyHistogram::bucket_lo(i + 1))
+                    : static_cast<double>(max);
+    // Cap the top occupied bucket at the observed max so outliers don't
+    // inflate the estimate to the bucket's theoretical upper bound.
+    if (seen == total && static_cast<double>(max) > lo) {
+      hi = static_cast<double>(max);
+    }
+    if (hi <= lo) return lo;
+    const double frac = counts[i] > 1
+                            ? (rank - lo_rank) / static_cast<double>(counts[i])
+                            : 0.0;
+    return lo + frac * (hi - lo);
+  }
+  return static_cast<double>(max);
+}
+
+}  // namespace
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  std::uint64_t counts[kBuckets] = {};
+  Snapshot s;
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      counts[i] += shard.count[i].load(std::memory_order_relaxed);
+    }
+    s.sum += shard.sum.load(std::memory_order_relaxed);
+    s.max = std::max(s.max, shard.max.load(std::memory_order_relaxed));
+  }
+  for (std::size_t i = 0; i < kBuckets; ++i) s.count += counts[i];
+  if (s.count > 0) {
+    s.mean = static_cast<double>(s.sum) / static_cast<double>(s.count);
+    s.p50 = bucket_quantile(counts, s.count, s.max, 0.50);
+    s.p95 = bucket_quantile(counts, s.count, s.max, 0.95);
+    s.p99 = bucket_quantile(counts, s.count, s.max, 0.99);
+  }
+  return s;
+}
+
+void json_append_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+namespace {
+
+void json_append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  // Integral values print without a fraction so counters stay exact.
+  if (v == std::floor(v) && std::fabs(v) < 9e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+const MetricSample* RegistrySnapshot::find(std::string_view name) const noexcept {
+  for (const MetricSample& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::string RegistrySnapshot::to_json() const {
+  std::string out;
+  out.reserve(256 + metrics.size() * 128);
+  out += "{\"t_ns\":";
+  json_append_number(out, static_cast<double>(t_ns));
+  out += ",\"metrics\":[";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const MetricSample& m = metrics[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":";
+    json_append_string(out, m.name);
+    out += ",\"kind\":\"";
+    out += metric_kind_name(m.kind);
+    out += "\",\"unit\":";
+    json_append_string(out, m.unit);
+    out += ",\"owner\":";
+    json_append_string(out, m.owner);
+    if (m.kind == MetricKind::Histogram) {
+      out += ",\"count\":";
+      json_append_number(out, static_cast<double>(m.hist.count));
+      out += ",\"sum\":";
+      json_append_number(out, static_cast<double>(m.hist.sum));
+      out += ",\"max\":";
+      json_append_number(out, static_cast<double>(m.hist.max));
+      out += ",\"mean\":";
+      json_append_number(out, m.hist.mean);
+      out += ",\"p50\":";
+      json_append_number(out, m.hist.p50);
+      out += ",\"p95\":";
+      json_append_number(out, m.hist.p95);
+      out += ",\"p99\":";
+      json_append_number(out, m.hist.p99);
+    } else {
+      out += ",\"value\":";
+      json_append_number(out, m.value);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void SampleSink::counter(std::string name, std::uint64_t v, std::string unit,
+                         std::string owner) {
+  MetricSample m;
+  m.name = std::move(name);
+  m.unit = std::move(unit);
+  m.owner = std::move(owner);
+  m.kind = MetricKind::Counter;
+  m.value = static_cast<double>(v);
+  out_->push_back(std::move(m));
+}
+
+void SampleSink::gauge(std::string name, std::int64_t v, std::string unit,
+                       std::string owner) {
+  MetricSample m;
+  m.name = std::move(name);
+  m.unit = std::move(unit);
+  m.owner = std::move(owner);
+  m.kind = MetricKind::Gauge;
+  m.value = static_cast<double>(v);
+  out_->push_back(std::move(m));
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find_locked(std::string_view name) {
+  for (auto& e : entries_) {
+    if (e->name == name) return e.get();
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::counter(std::string name, std::string unit,
+                                  std::string owner) {
+  std::lock_guard lock(mutex_);
+  if (Entry* e = find_locked(name)) {
+    return e->kind == MetricKind::Counter ? e->c.get() : nullptr;
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = std::move(name);
+  e->unit = std::move(unit);
+  e->owner = std::move(owner);
+  e->kind = MetricKind::Counter;
+  e->c = std::make_unique<Counter>();
+  Counter* out = e->c.get();
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+Gauge* MetricsRegistry::gauge(std::string name, std::string unit,
+                              std::string owner) {
+  std::lock_guard lock(mutex_);
+  if (Entry* e = find_locked(name)) {
+    return e->kind == MetricKind::Gauge ? e->g.get() : nullptr;
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = std::move(name);
+  e->unit = std::move(unit);
+  e->owner = std::move(owner);
+  e->kind = MetricKind::Gauge;
+  e->g = std::make_unique<Gauge>();
+  Gauge* out = e->g.get();
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+LatencyHistogram* MetricsRegistry::histogram(std::string name, std::string unit,
+                                             std::string owner) {
+  std::lock_guard lock(mutex_);
+  if (Entry* e = find_locked(name)) {
+    return e->kind == MetricKind::Histogram ? e->h.get() : nullptr;
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = std::move(name);
+  e->unit = std::move(unit);
+  e->owner = std::move(owner);
+  e->kind = MetricKind::Histogram;
+  e->h = std::make_unique<LatencyHistogram>();
+  LatencyHistogram* out = e->h.get();
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+std::size_t MetricsRegistry::add_collector(std::function<void(SampleSink&)> fn) {
+  std::lock_guard lock(mutex_);
+  collectors_.push_back(std::move(fn));
+  return collectors_.size() - 1;
+}
+
+void MetricsRegistry::remove_collector(std::size_t id) {
+  std::lock_guard lock(mutex_);
+  if (id < collectors_.size()) collectors_[id] = nullptr;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot snap;
+  snap.t_ns = steady_now_ns();
+  std::lock_guard lock(mutex_);
+  snap.metrics.reserve(entries_.size() + collectors_.size() * 8);
+  for (const auto& e : entries_) {
+    MetricSample m;
+    m.name = e->name;
+    m.unit = e->unit;
+    m.owner = e->owner;
+    m.kind = e->kind;
+    switch (e->kind) {
+      case MetricKind::Counter:
+        m.value = static_cast<double>(e->c->value());
+        break;
+      case MetricKind::Gauge:
+        m.value = static_cast<double>(e->g->value());
+        break;
+      case MetricKind::Histogram:
+        m.hist = e->h->snapshot();
+        break;
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  SampleSink sink(&snap.metrics);
+  for (const auto& fn : collectors_) {
+    if (fn) fn(sink);
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+std::size_t MetricsRegistry::metric_count() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace atm::obs

@@ -1,0 +1,154 @@
+#include "obs/sampler.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace atm::obs {
+
+namespace {
+
+/// The value a sample flattens to in time-series output: counters/gauges
+/// report their value, histograms their p50 (the series is for watching
+/// trends, the full distribution lives in the final registry snapshot).
+double series_value(const MetricSample& m) noexcept {
+  return m.kind == MetricKind::Histogram ? m.hist.p50 : m.value;
+}
+
+}  // namespace
+
+std::string MetricsSampler::Series::to_json() const {
+  std::string out;
+  out.reserve(256 + samples.size() * 256);
+  out += "{\"interval_ms\":";
+  out += std::to_string(interval_ms);
+  out += ",\"dropped\":";
+  out += std::to_string(dropped);
+  out += ",\"samples\":[";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\n{\"t_ns\":";
+    out += std::to_string(samples[i].t_ns);
+    out += ",\"metrics\":{";
+    for (std::size_t k = 0; k < samples[i].metrics.size(); ++k) {
+      const MetricSample& m = samples[i].metrics[k];
+      if (k > 0) out += ',';
+      json_append_string(out, m.name);
+      out += ':';
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", series_value(m));
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "\n]}";
+  return out;
+}
+
+std::string MetricsSampler::Series::to_csv() const {
+  std::string out;
+  if (samples.empty()) return "t_ns\n";
+  // Column set = scalar metrics of the first sample; the registry only grows
+  // during warm-up, so later samples are a superset and extra names drop.
+  std::vector<std::string> cols;
+  out += "t_ns";
+  for (const MetricSample& m : samples.front().metrics) {
+    if (m.kind == MetricKind::Histogram) continue;
+    cols.push_back(m.name);
+    out += ',';
+    out += m.name;
+  }
+  out += '\n';
+  for (const RegistrySnapshot& s : samples) {
+    out += std::to_string(s.t_ns);
+    for (const std::string& col : cols) {
+      out += ',';
+      const MetricSample* m = s.find(col);
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", m != nullptr ? m->value : 0.0);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+MetricsSampler::MetricsSampler(const MetricsRegistry& registry, Options opts)
+    : registry_(registry), opts_(opts) {
+  if (opts_.interval_ms == 0) opts_.interval_ms = 1;
+  if (opts_.ring_capacity == 0) opts_.ring_capacity = 1;
+  ring_.reserve(std::min<std::size_t>(opts_.ring_capacity, 1024));
+  thread_ = std::thread([this] { run(); });
+}
+
+MetricsSampler::~MetricsSampler() { stop(); }
+
+void MetricsSampler::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  take_sample();  // final snapshot: short runs still get >= 1 sample
+  std::lock_guard lock(mutex_);
+  stopped_ = true;
+}
+
+void MetricsSampler::run() {
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(opts_.interval_ms);
+    if (cv_.wait_until(lock, deadline, [this] { return stopping_; })) break;
+    lock.unlock();
+    take_sample();
+    lock.lock();
+  }
+}
+
+void MetricsSampler::take_sample() {
+  RegistrySnapshot snap = registry_.snapshot();
+  if (opts_.live_stderr) {
+    std::string line = "[atm-metrics t=" + std::to_string(snap.t_ns / 1000000) +
+                       "ms]";
+    for (const MetricSample& m : snap.metrics) {
+      if (m.kind != MetricKind::Gauge) continue;
+      line += ' ';
+      line += m.name;
+      line += '=';
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%lld",
+                    static_cast<long long>(m.value));
+      line += buf;
+    }
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+  std::lock_guard lock(mutex_);
+  if (ring_.size() < opts_.ring_capacity) {
+    ring_.push_back(std::move(snap));
+  } else {
+    ring_[ring_head_] = std::move(snap);
+    ring_head_ = (ring_head_ + 1) % opts_.ring_capacity;
+    wrapped_ = true;
+    ++dropped_;
+  }
+}
+
+MetricsSampler::Series MetricsSampler::series() const {
+  std::lock_guard lock(mutex_);
+  Series s;
+  s.interval_ms = opts_.interval_ms;
+  s.dropped = dropped_;
+  s.samples.reserve(ring_.size());
+  if (wrapped_) {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      s.samples.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+    }
+  } else {
+    s.samples = ring_;
+  }
+  return s;
+}
+
+}  // namespace atm::obs

@@ -1,0 +1,73 @@
+// Background metrics sampling: a thread that snapshots the registry's gauges
+// (queue depths, arena slots, L2 bytes, index sizes) at a fixed interval into
+// a bounded ring buffer, dumped at the end of the run as JSON/CSV and
+// optionally echoed live to stderr — the surface a long-running `atm_serve`
+// will expose (ROADMAP item 4).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace atm::obs {
+
+class MetricsSampler {
+ public:
+  struct Options {
+    std::uint64_t interval_ms = 100;
+    std::size_t ring_capacity = 4096;  ///< oldest snapshots drop past this
+    bool live_stderr = false;          ///< print a one-line summary per tick
+  };
+
+  /// The sampled series, ordered oldest-first. `dropped` counts snapshots
+  /// evicted from the ring (a bounded buffer, not an unbounded log).
+  struct Series {
+    std::uint64_t interval_ms = 0;
+    std::uint64_t dropped = 0;
+    std::vector<RegistrySnapshot> samples;
+
+    /// {"interval_ms":..,"dropped":..,"samples":[{"t_ns":..,
+    ///  "metrics":{name:value,...}},...]} — histograms flatten to their p50.
+    [[nodiscard]] std::string to_json() const;
+    /// Counters/gauges only: header row of metric names, one row per tick.
+    [[nodiscard]] std::string to_csv() const;
+  };
+
+  /// Starts sampling `registry` immediately. The registry must outlive the
+  /// sampler (Runtime owns both and stops the sampler first).
+  MetricsSampler(const MetricsRegistry& registry, Options opts);
+  ~MetricsSampler();
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Stop the thread and take a final snapshot so short runs still record
+  /// at least one sample. Idempotent.
+  void stop();
+
+  [[nodiscard]] Series series() const;
+
+ private:
+  void run();
+  void take_sample();
+
+  const MetricsRegistry& registry_;
+  Options opts_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::vector<RegistrySnapshot> ring_;
+  std::size_t ring_head_ = 0;  ///< index of oldest sample once wrapped
+  bool wrapped_ = false;
+  std::uint64_t dropped_ = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace atm::obs

@@ -1,0 +1,190 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace atm::obs {
+
+namespace {
+
+std::uint64_t earliest_ts(const std::vector<std::vector<rt::TraceEvent>>& lanes,
+                          const std::vector<rt::DepthSample>& depth,
+                          const std::vector<CounterTrack>& tracks) {
+  std::uint64_t t0 = UINT64_MAX;
+  for (const auto& lane : lanes) {
+    if (!lane.empty()) t0 = std::min(t0, lane.front().t0);
+  }
+  for (const auto& d : depth) t0 = std::min(t0, d.t);
+  for (const auto& tr : tracks) {
+    if (!tr.points.empty()) t0 = std::min(t0, tr.points.front().first);
+  }
+  return t0 == UINT64_MAX ? 0 : t0;
+}
+
+void append_us(std::string& out, std::uint64_t ns_since_t0) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f",
+                static_cast<double>(ns_since_t0) / 1000.0);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(
+    const std::vector<std::vector<rt::TraceEvent>>& lanes,
+    std::size_t master_lane, const std::vector<rt::DepthSample>& depth,
+    const std::vector<CounterTrack>& counter_tracks) {
+  const std::uint64_t t0 = earliest_ts(lanes, depth, counter_tracks);
+
+  std::string out;
+  std::size_t events = depth.size();
+  for (const auto& lane : lanes) events += lane.size();
+  out.reserve(512 + events * 96);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // Thread-name metadata: chrome://tracing shows these as row labels.
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    sep();
+    const std::string name = lane == master_lane
+                                 ? "master"
+                                 : "worker " + std::to_string(lane);
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":";
+    out += std::to_string(lane);
+    out += ",\"args\":{\"name\":";
+    json_append_string(out, name);
+    out += "}}";
+  }
+
+  // Complete ("X") events: one per recorded span, ts/dur in microseconds.
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    for (const rt::TraceEvent& e : lanes[lane]) {
+      sep();
+      out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+      out += std::to_string(lane);
+      out += ",\"name\":";
+      json_append_string(out, rt::trace_state_name(e.state));
+      out += ",\"cat\":\"runtime\",\"ts\":";
+      append_us(out, e.t0 - t0);
+      out += ",\"dur\":";
+      append_us(out, e.t1 >= e.t0 ? e.t1 - e.t0 : 0);
+      out += '}';
+    }
+  }
+
+  // Counter ("C") events: the ready-queue depth track plus caller tracks.
+  for (const rt::DepthSample& d : depth) {
+    sep();
+    out += "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"ready_tasks\",\"ts\":";
+    append_us(out, d.t - t0);
+    out += ",\"args\":{\"value\":";
+    out += std::to_string(d.depth);
+    out += "}}";
+  }
+  for (const CounterTrack& tr : counter_tracks) {
+    for (const auto& [t, v] : tr.points) {
+      sep();
+      out += "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":";
+      json_append_string(out, tr.name);
+      out += ",\"ts\":";
+      append_us(out, t >= t0 ? t - t0 : 0);
+      out += ",\"args\":{\"value\":";
+      append_double(out, v);
+      out += "}}";
+    }
+  }
+
+  out += "]}";
+  return out;
+}
+
+std::size_t ParsedChromeTrace::count(const std::string& ph) const noexcept {
+  std::size_t n = 0;
+  for (const Event& e : events) {
+    if (e.ph == ph) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+/// Extract `"key":<value>` where value is a bare token or quoted string,
+/// searching only inside [begin, end). Returns empty string if absent.
+std::string field(const std::string& s, std::size_t begin, std::size_t end,
+                  const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = s.find(needle, begin);
+  if (at == std::string::npos || at >= end) return {};
+  std::size_t v = at + needle.size();
+  if (v >= end) return {};
+  if (s[v] == '"') {
+    const std::size_t close = s.find('"', v + 1);
+    if (close == std::string::npos || close > end) return {};
+    return s.substr(v + 1, close - v - 1);
+  }
+  std::size_t stop = v;
+  while (stop < end && s[stop] != ',' && s[stop] != '}' && s[stop] != ']') {
+    ++stop;
+  }
+  return s.substr(v, stop - v);
+}
+
+}  // namespace
+
+bool parse_chrome_trace(const std::string& json, ParsedChromeTrace& out) {
+  const std::size_t arr = json.find("\"traceEvents\":[");
+  if (arr == std::string::npos) return false;
+  std::size_t pos = arr;
+  while (true) {
+    const std::size_t open = json.find("{\"ph\":", pos);
+    if (open == std::string::npos) break;
+    // Events are flat except for the one-level "args" object; find the
+    // closing brace by depth counting (strings in our output never contain
+    // braces worth worrying about beyond json escaping, which field() skips).
+    std::size_t depth = 0;
+    std::size_t close = open;
+    for (; close < json.size(); ++close) {
+      if (json[close] == '{') ++depth;
+      if (json[close] == '}' && --depth == 0) break;
+    }
+    if (close >= json.size()) return false;
+
+    ParsedChromeTrace::Event e;
+    e.ph = field(json, open, close + 1, "ph");
+    if (e.ph.empty()) return false;
+    e.name = field(json, open, close + 1, "name");
+    const std::string tid = field(json, open, close + 1, "tid");
+    if (!tid.empty()) e.tid = static_cast<std::uint32_t>(std::stoul(tid));
+    const std::string ts = field(json, open, close + 1, "ts");
+    if (!ts.empty()) e.ts = std::stod(ts);
+    const std::string dur = field(json, open, close + 1, "dur");
+    if (!dur.empty()) e.dur = std::stod(dur);
+    const std::string value = field(json, open, close + 1, "value");
+    if (!value.empty()) e.value = std::stod(value);
+    // "M" metadata carries the display name inside args.
+    if (e.ph == "M") {
+      const std::size_t args = json.find("\"args\":", open);
+      if (args != std::string::npos && args < close) {
+        const std::string display = field(json, args, close + 1, "name");
+        if (!display.empty()) e.name = display;
+      }
+    }
+    out.events.push_back(std::move(e));
+    pos = close + 1;
+  }
+  return !out.events.empty();
+}
+
+}  // namespace atm::obs

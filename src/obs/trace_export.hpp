@@ -1,0 +1,56 @@
+// Chrome trace-event JSON export: serializes TraceRecorder lanes, ready-depth
+// samples and MetricsSampler counter tracks into the format chrome://tracing
+// and Perfetto load directly ({"traceEvents":[...]} with "X" complete events,
+// "C" counter events and "M" thread-name metadata).
+//
+// Operates on the plain TraceEvent/DepthSample structs from runtime/trace.hpp
+// (header-only types), so atm_obs depends only on atm_common.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/trace.hpp"
+
+namespace atm::obs {
+
+/// One extra counter track to emit alongside the lanes (e.g. a sampled gauge
+/// series from the MetricsSampler).
+struct CounterTrack {
+  std::string name;
+  std::vector<std::pair<std::uint64_t, double>> points;  ///< (t ns, value)
+};
+
+/// Build the Chrome trace JSON document. `lanes` is one event vector per
+/// thread (TraceRecorder layout: worker lanes first, master lane at
+/// `master_lane`); `depth` becomes a "ready_tasks" counter track. Timestamps
+/// are normalized so the earliest event lands at ts=0 (Perfetto dislikes
+/// epoch-scale offsets) and converted to microseconds, the format's unit.
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<std::vector<rt::TraceEvent>>& lanes,
+    std::size_t master_lane, const std::vector<rt::DepthSample>& depth,
+    const std::vector<CounterTrack>& counter_tracks = {});
+
+/// Minimal parsed view of a Chrome trace produced by chrome_trace_json —
+/// just enough structure for round-trip tests and CI validation. NOT a
+/// general JSON parser: it understands only this writer's output shape.
+struct ParsedChromeTrace {
+  struct Event {
+    std::string ph;      ///< "X", "C" or "M"
+    std::string name;
+    std::uint32_t tid = 0;
+    double ts = 0.0;     ///< µs
+    double dur = 0.0;    ///< µs ("X" only)
+    double value = 0.0;  ///< "C" only
+  };
+  std::vector<Event> events;
+
+  [[nodiscard]] std::size_t count(const std::string& ph) const noexcept;
+};
+
+/// Parse a document written by chrome_trace_json. Returns false (and leaves
+/// `out` partially filled) on structural mismatch.
+bool parse_chrome_trace(const std::string& json, ParsedChromeTrace& out);
+
+}  // namespace atm::obs

@@ -26,28 +26,103 @@ Runtime::Runtime(RuntimeConfig config)
                                            : std::max(1u, std::thread::hardware_concurrency())),
       sched_policy_(config.sched),
       help_taskwait_(config.help_taskwait),
+      profile_tasks_(config.profile_tasks),
       tracer_(std::make_unique<TraceRecorder>(num_threads_ + 1, config.enable_tracing)),
       sched_(Scheduler::make(config.sched, num_threads_, tracer_.get())),
       arena_(config.arena_block_tasks),
       tracker_(config.graph_log2_shards) {
+  help_sessions_ = metrics_.counter("sched.help_sessions", "sessions", "runtime");
+  help_tasks_ = metrics_.counter("sched.help_tasks", "tasks", "runtime");
+  if (config.metrics) register_collectors();
   workers_.reserve(num_threads_);
   for (unsigned w = 0; w < num_threads_; ++w) {
     workers_.emplace_back([this, w] { worker_main(w); });
   }
   started_.store(true, std::memory_order_release);
+  if (config.metrics_interval_ms > 0) {
+    obs::MetricsSampler::Options opts;
+    opts.interval_ms = config.metrics_interval_ms;
+    opts.live_stderr = config.metrics_live;
+    sampler_ = std::make_unique<obs::MetricsSampler>(metrics_, opts);
+  }
 }
 
 Runtime::~Runtime() {
+  if (sampler_ != nullptr) sampler_->stop();
   taskwait();
   sched_->shutdown();
   for (auto& t : workers_) t.join();
+  // Workers and sampler are gone: nothing can run the hook's collector
+  // anymore, so let it drop its registry state before the registry dies.
+  if (hook_ != nullptr) {
+    hook_->on_detach(*this);
+    hook_ = nullptr;
+  }
+}
+
+void Runtime::register_collectors() {
+  // One collector for everything the runtime already counts: the existing
+  // snapshot structs (RuntimeCounters, TaskArenaStats, DepIndexStats,
+  // SchedulerStats) stay the C++ views, this is the by-name export of the
+  // same atomics — no new hot-path cost.
+  metrics_.add_collector([this](obs::SampleSink& sink) {
+    const RuntimeCounters c = counters();
+    sink.counter("runtime.tasks_submitted", c.submitted, "tasks", "runtime");
+    sink.counter("runtime.tasks_executed", c.executed, "tasks", "runtime");
+    sink.counter("runtime.tasks_memoized", c.memoized, "tasks", "runtime");
+    sink.counter("runtime.tasks_deferred", c.deferred, "tasks", "runtime");
+    sink.gauge("runtime.pending_tasks",
+               static_cast<std::int64_t>(pending_tasks_.load(std::memory_order_relaxed)),
+               "tasks", "runtime");
+
+    const TaskArenaStats a = arena_stats();
+    sink.gauge("arena.slots", static_cast<std::int64_t>(a.slots), "slots", "arena");
+    sink.gauge("arena.free_slots", static_cast<std::int64_t>(a.free_slots),
+               "slots", "arena");
+    sink.gauge("arena.blocks", static_cast<std::int64_t>(a.blocks), "blocks",
+               "arena");
+    sink.gauge("arena.slab_bytes", static_cast<std::int64_t>(a.slab_bytes),
+               "bytes", "arena");
+
+    const DepIndexStats d = dep_index_stats();
+    sink.counter("dep.exact_hits", d.exact_hits, "lookups", "dep_index");
+    sink.counter("dep.tree_fallbacks", d.tree_fallbacks, "lookups", "dep_index");
+    sink.counter("dep.prune_scans", d.prune_scans, "scans", "dep_index");
+    sink.gauge("dep.segments", static_cast<std::int64_t>(tracker_segment_count()),
+               "segments", "dep_index");
+
+    const SchedulerStats s = sched_stats();
+    sink.gauge("sched.depth", static_cast<std::int64_t>(s.depth), "tasks",
+               "scheduler");
+    sink.gauge("sched.batch_cap", static_cast<std::int64_t>(s.inbox_batch_cap),
+               "tasks", "scheduler");
+    sink.counter("sched.steal_misses", s.steal_misses, "sweeps", "scheduler");
+    sink.counter("sched.steal_attempts", s.steal_attempts, "sweeps", "scheduler");
+    sink.counter("sched.steal_fails", s.steal_fails, "sweeps", "scheduler");
+    sink.counter("sched.inbox_drains", s.inbox_drains, "drains", "scheduler");
+    sink.counter("sched.inbox_drained_tasks", s.inbox_drained_tasks, "tasks",
+                 "scheduler");
+  });
+}
+
+obs::MetricsSampler::Series Runtime::metrics_series() {
+  if (sampler_ == nullptr) return {};
+  sampler_->stop();
+  return sampler_->series();
 }
 
 const TaskType* Runtime::register_type(TaskTypeDesc desc) {
   std::lock_guard<std::mutex> lock(types_mutex_);
   const auto id = static_cast<std::uint32_t>(types_.size());
   types_.push_back(std::make_unique<TaskType>(id, std::move(desc)));
-  return types_.back().get();
+  const TaskType* type = types_.back().get();
+  if (profile_tasks_ && id < kMaxProfiledTypes) {
+    exec_hist_[id].store(
+        metrics_.histogram("task." + std::string(type->name()) + ".exec_ns",
+                           "ns", "profile"),
+        std::memory_order_release);
+  }
+  return type;
 }
 
 std::size_t Runtime::type_count() const {
@@ -56,6 +131,7 @@ std::size_t Runtime::type_count() const {
 }
 
 void Runtime::attach_memoizer(MemoizationHook* hook) {
+  if (hook_ != nullptr && hook_ != hook) hook_->on_detach(*this);
   hook_ = hook;
   if (hook != nullptr) hook->on_attach(*this);
 }
@@ -155,16 +231,20 @@ void Runtime::help_until_done() {
   const auto quit = [this] {
     return pending_tasks_.load(std::memory_order_acquire) == 0;
   };
+  help_sessions_->inc();
   for (;;) {
     Task* task = nullptr;
     {
-      TraceScope idle(tracer_.get(), lane, TraceState::Idle);
+      // Helping, not Idle: in the Figs. 7/8 timelines a master stuck at the
+      // barrier executing other people's tasks is a distinct state ('H').
+      TraceScope helping(tracer_.get(), lane, TraceState::Helping);
       task = sched_->helper_pop(quit);
     }
     // nullptr means the quit condition held: every pending task completed
     // (the final completion's notify_helpers() is what wakes a parked
     // helper — exactly-once, no timeout polling).
     if (task == nullptr) break;
+    help_tasks_->inc();
     process_task(task, lane);
   }
   tls_lane = prev_lane;
@@ -202,10 +282,19 @@ void Runtime::process_task(Task* task, std::size_t lane) {
     }
     case MemoizationHook::Decision::Execute: {
       task->state = TaskState::Running;
+      // Per-type latency profile: opt-in (two clock reads ≈ 40ns, real
+      // money against microtasks); the histogram pointer is an acquire-load
+      // against a concurrent register_type.
+      obs::LatencyHistogram* hist = nullptr;
+      if (profile_tasks_ && task->type->id() < kMaxProfiledTypes) {
+        hist = exec_hist_[task->type->id()].load(std::memory_order_acquire);
+      }
+      const std::uint64_t exec_t0 = hist != nullptr ? now_ns() : 0;
       {
         TraceScope exec(tracer_.get(), lane, TraceState::TaskExec);
         task->fn();
       }
+      if (hist != nullptr) hist->record(now_ns() - exec_t0);
       if (hook_ != nullptr && task->type->memoizable()) {
         hook_->on_task_executed(*task, lane);
       }

@@ -32,6 +32,10 @@
 #include <thread>
 #include <vector>
 
+#include <array>
+
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "runtime/dependency_tracker.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/task.hpp"
@@ -66,6 +70,14 @@ class MemoizationHook {
 
   /// Called once when the hook is attached to a runtime.
   virtual void on_attach(Runtime& runtime) { (void)runtime; }
+
+  /// Called when `runtime` lets go of the hook: at runtime destruction or
+  /// when attach_memoizer replaces it. Anything the hook registered against
+  /// that runtime's state (metrics collectors, registry instruments) must
+  /// be released here — the hook and the runtime may be destroyed in either
+  /// order, and after this call that runtime's registry is off-limits. A
+  /// hook since re-attached elsewhere should ignore the stale detach.
+  virtual void on_detach(Runtime& runtime) { (void)runtime; }
 };
 
 /// Runtime construction parameters.
@@ -90,6 +102,20 @@ struct RuntimeConfig {
   /// wave-boundary latency on few-core hosts is the payoff. Off = the
   /// paper's parking barrier, kept for A/B (`atm_run --taskwait=park`).
   bool help_taskwait = true;
+  /// Export the runtime/scheduler/arena/dep-index counters through the
+  /// metrics registry (collector registration at construction; the registry
+  /// itself always exists — see Runtime::metrics()).
+  bool metrics = true;
+  /// >0 starts a background MetricsSampler snapshotting the registry at
+  /// this interval into a bounded ring (`atm_run --metrics-json`).
+  std::uint64_t metrics_interval_ms = 0;
+  /// Echo a one-line gauge summary to stderr on every sampler tick
+  /// (`atm_run --stats-interval=MS`).
+  bool metrics_live = false;
+  /// Record per-task-type execution-latency histograms
+  /// (task.<type>.exec_ns). Opt-in: costs two clock reads per executed
+  /// task, which is real money against ~250ns microtasks.
+  bool profile_tasks = false;
 };
 
 /// Monotonic counters; cheap enough to keep always-on.
@@ -181,16 +207,33 @@ class Runtime {
 
   [[nodiscard]] bool helping_taskwait() const noexcept { return help_taskwait_; }
 
+  /// THE unified metrics registry: every telemetry surface in this process
+  /// (runtime, scheduler, arena, dep index, an attached ATM engine)
+  /// registers here; snapshot() is the one machine-readable export point.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  /// Stop the background sampler (if configured) and return its series.
+  /// Safe to call repeatedly; empty when metrics_interval_ms was 0.
+  [[nodiscard]] obs::MetricsSampler::Series metrics_series();
+
  private:
   void worker_main(unsigned worker_id);
   void process_task(Task* task, std::size_t lane);
   void complete_task(Task& task);
   /// Serve as a transient worker until every pending task completed.
   void help_until_done();
+  void register_collectors();
 
   unsigned num_threads_;
   SchedPolicy sched_policy_;
   bool help_taskwait_;
+  bool profile_tasks_;
+  /// Declared before every subsystem that registers on it, so it outlives
+  /// them all during destruction.
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<TraceRecorder> tracer_;
   std::unique_ptr<Scheduler> sched_;
 
@@ -215,6 +258,21 @@ class Runtime {
     std::atomic<std::uint64_t> deferred{0};
   };
   AtomicCounters counters_;
+
+  /// Per-type execution-latency histograms (profile_tasks only), indexed by
+  /// the dense type id. Atomic pointers so process_task reads race-free
+  /// against concurrent register_type calls; types past the array just skip
+  /// profiling.
+  static constexpr std::size_t kMaxProfiledTypes = 256;
+  std::array<std::atomic<obs::LatencyHistogram*>, kMaxProfiledTypes> exec_hist_{};
+
+  /// Helping-barrier span counters (sched.help_sessions / sched.help_tasks).
+  obs::Counter* help_sessions_ = nullptr;
+  obs::Counter* help_tasks_ = nullptr;
+
+  /// Background gauge sampler (metrics_interval_ms > 0); stopped before the
+  /// worker pool and the registry go away.
+  std::unique_ptr<obs::MetricsSampler> sampler_;
 
   MemoizationHook* hook_ = nullptr;
   std::vector<std::thread> workers_;

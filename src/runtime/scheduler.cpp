@@ -176,6 +176,8 @@ Task* StealScheduler::acquire_local(unsigned lane) {
   std::size_t n = 0;
   Task* chain = take_inbox_chain(slot, &n);
   if (chain == nullptr) return nullptr;
+  slot.inbox_drains.store(slot.inbox_drains.load() + 1);
+  slot.inbox_drained_tasks.store(slot.inbox_drained_tasks.load() + n);
   const std::uint64_t misses = steal_misses_.load(std::memory_order_relaxed);
   std::uint32_t cap = batch_cap_.load(std::memory_order_relaxed);
   if (misses == slot.last_misses) {
@@ -197,6 +199,7 @@ Task* StealScheduler::acquire_steal(unsigned lane) {
   // long-running victim cannot strand external submissions behind its back.
   const unsigned total = lane_count();
   bool hoarded = false;
+  me.steal_attempts.store(me.steal_attempts.load() + 1);
   unsigned v = me.victim_cursor < total ? me.victim_cursor : 0;
   for (unsigned i = 0; i < total; ++i, v = v + 1 == total ? 0 : v + 1) {
     if (v == lane) continue;  // every other lane is probed exactly once
@@ -212,6 +215,8 @@ Task* StealScheduler::acquire_steal(unsigned lane) {
     std::size_t n = 0;
     if (Task* chain = take_inbox_chain(victim, &n)) {
       me.victim_cursor = v;
+      me.inbox_drains.store(me.inbox_drains.load() + 1);
+      me.inbox_drained_tasks.store(me.inbox_drained_tasks.load() + n);
       return adopt_chain(me, chain, n, batch_cap_.load(std::memory_order_relaxed));
     }
     if (victim.batch_size.load() > 0) hoarded = true;
@@ -224,7 +229,22 @@ Task* StealScheduler::acquire_steal(unsigned lane) {
   // lane that gives up and sleeps while work sits in someone's private
   // batch genuinely starved because of batching.
   me.missed_with_work = hoarded || items_.load(std::memory_order_relaxed) > 0;
+  me.steal_fails.store(me.steal_fails.load() + 1);
   return nullptr;
+}
+
+SchedulerStats StealScheduler::stats() const noexcept {
+  SchedulerStats s;
+  s.depth = items_.load(std::memory_order_relaxed);
+  s.inbox_batch_cap = batch_cap_.load(std::memory_order_relaxed);
+  s.steal_misses = steal_misses_.load(std::memory_order_relaxed);
+  for (const auto& slot : slots_) {
+    s.steal_attempts += slot->steal_attempts.load();
+    s.steal_fails += slot->steal_fails.load();
+    s.inbox_drains += slot->inbox_drains.load();
+    s.inbox_drained_tasks += slot->inbox_drained_tasks.load();
+  }
+  return s;
 }
 
 void StealScheduler::note_starved(unsigned lane) {

@@ -54,6 +54,10 @@ struct SchedulerStats {
   std::size_t depth = 0;            ///< tasks queued across all structures
   std::size_t inbox_batch_cap = 0;  ///< adaptive worker-private batch cap (steal only)
   std::uint64_t steal_misses = 0;   ///< full sweeps that found nothing while work existed
+  std::uint64_t steal_attempts = 0;     ///< full steal sweeps started (steal only)
+  std::uint64_t steal_fails = 0;        ///< sweeps that returned empty-handed
+  std::uint64_t inbox_drains = 0;       ///< wholesale inbox-chain drains
+  std::uint64_t inbox_drained_tasks = 0;///< tasks moved by those drains
 };
 
 class Scheduler {
@@ -131,7 +135,9 @@ class CentralScheduler final : public Scheduler {
   void reset() override { queue_.reset(); }
   [[nodiscard]] std::size_t depth() const noexcept override { return queue_.depth(); }
   [[nodiscard]] SchedulerStats stats() const noexcept override {
-    return SchedulerStats{queue_.depth(), 0, 0};
+    SchedulerStats s;
+    s.depth = queue_.depth();
+    return s;
   }
 
  private:
@@ -187,11 +193,7 @@ class StealScheduler final : public Scheduler {
   [[nodiscard]] std::size_t depth() const noexcept override {
     return items_.load(std::memory_order_relaxed);
   }
-  [[nodiscard]] SchedulerStats stats() const noexcept override {
-    return SchedulerStats{items_.load(std::memory_order_relaxed),
-                          batch_cap_.load(std::memory_order_relaxed),
-                          steal_misses_.load(std::memory_order_relaxed)};
-  }
+  [[nodiscard]] SchedulerStats stats() const noexcept override;
 
   /// Adaptive batch-cap bounds (exposed for tests/benches).
   static constexpr std::uint32_t kBatchMin = 64;
@@ -220,6 +222,13 @@ class StealScheduler final : public Scheduler {
     /// batch-hoarded); consumed by note_starved when the lane parks.
     bool missed_with_work = false;
     std::uint32_t victim_cursor = 0;  ///< lane-local steal start point
+    /// Observability counters, written only by the lane that owns this slot
+    /// (the thief/drainer writes its OWN slot, never the victim's), racily
+    /// summed by stats(). Same cache line the owner already dirties.
+    AtomicCell<std::uint64_t> steal_attempts{0};
+    AtomicCell<std::uint64_t> steal_fails{0};
+    AtomicCell<std::uint64_t> inbox_drains{0};
+    AtomicCell<std::uint64_t> inbox_drained_tasks{0};
   };
 
   void note_push();

@@ -73,7 +73,8 @@ std::uint64_t TraceRecorder::last_event_ns() const {
 }
 
 std::string TraceRecorder::ascii_timeline(std::size_t width) const {
-  static constexpr char kGlyph[kTraceStateCount] = {'.', 'X', 'h', 'm', 'c', 'r'};
+  static constexpr char kGlyph[kTraceStateCount] = {'.', 'X', 'h', 'm',
+                                                    'c', 'r', 'H'};
   const std::uint64_t t0 = first_event_ns();
   const std::uint64_t t1 = last_event_ns();
   if (t1 <= t0 || width == 0) return {};

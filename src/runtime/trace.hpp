@@ -22,7 +22,8 @@ enum class TraceState : std::uint8_t {
   HashKey,     ///< ATM: hash-key computation
   Memoize,     ///< ATM: output copies from/to the THT (copyOuts/updateTHT)
   Creation,    ///< master: task creation & dependence registration
-  RuntimeOther ///< scheduling, completion bookkeeping
+  RuntimeOther,///< scheduling, completion bookkeeping
+  Helping      ///< blocked in taskwait, executing other ready tasks
 };
 
 [[nodiscard]] constexpr const char* trace_state_name(TraceState s) noexcept {
@@ -33,11 +34,12 @@ enum class TraceState : std::uint8_t {
     case TraceState::Memoize: return "ATM:Memoize";
     case TraceState::Creation: return "Creation";
     case TraceState::RuntimeOther: return "RuntimeOther";
+    case TraceState::Helping: return "Helping";
   }
   return "?";
 }
 
-inline constexpr std::size_t kTraceStateCount = 6;
+inline constexpr std::size_t kTraceStateCount = 7;
 
 struct TraceEvent {
   std::uint64_t t0 = 0;  ///< ns, steady clock
@@ -90,7 +92,7 @@ class TraceRecorder {
 
   /// Render a compact ASCII timeline: one row per lane, `width` columns,
   /// dominant state per column encoded as a character
-  /// (.=idle X=exec h=hash m=memoize c=creation r=other).
+  /// (.=idle X=exec h=hash m=memoize c=creation r=other H=helping).
   [[nodiscard]] std::string ascii_timeline(std::size_t width = 100) const;
 
   void clear();

@@ -1,0 +1,169 @@
+// Tests for the Chrome trace-event exporter (src/obs/trace_export): golden
+// structural checks of the JSON document, event ordering and duration
+// validity, counter-track monotonicity, and a full TraceRecorder round-trip
+// (record -> export -> parse).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/trace_export.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/trace.hpp"
+
+namespace atm::obs {
+namespace {
+
+using rt::TraceEvent;
+using rt::TraceState;
+
+std::vector<std::vector<TraceEvent>> two_lane_fixture() {
+  // Lane 0 (worker): exec then idle; lane 1 (master): creation.
+  std::vector<std::vector<TraceEvent>> lanes(2);
+  lanes[0].push_back({1000, 1500, TraceState::TaskExec});
+  lanes[0].push_back({1500, 1700, TraceState::Idle});
+  lanes[1].push_back({900, 1100, TraceState::Creation});
+  return lanes;
+}
+
+TEST(ChromeTrace, GoldenStructure) {
+  const auto lanes = two_lane_fixture();
+  const std::string json = chrome_trace_json(lanes, 1, {});
+
+  // Document envelope.
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["), 0u);
+  EXPECT_EQ(json.back(), '}');
+  // Thread-name metadata for both lanes, master labeled as such.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"master\""), std::string::npos);
+  // Complete events carry the state names and the runtime category.
+  EXPECT_NE(json.find("\"TaskExec\""), std::string::npos);
+  EXPECT_NE(json.find("\"Creation\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"runtime\""), std::string::npos);
+}
+
+TEST(ChromeTrace, TimestampsNormalizedToEarliestEvent) {
+  const auto lanes = two_lane_fixture();
+  ParsedChromeTrace parsed;
+  ASSERT_TRUE(parse_chrome_trace(chrome_trace_json(lanes, 1, {}), parsed));
+
+  // Earliest event (master creation at 900ns) lands at ts=0; the worker
+  // exec span starts 100ns = 0.1us later.
+  double min_ts = 1e18;
+  for (const auto& e : parsed.events) {
+    if (e.ph == "X") min_ts = std::min(min_ts, e.ts);
+  }
+  EXPECT_DOUBLE_EQ(min_ts, 0.0);
+  bool found_exec = false;
+  for (const auto& e : parsed.events) {
+    if (e.ph == "X" && e.name == "TaskExec") {
+      found_exec = true;
+      EXPECT_DOUBLE_EQ(e.ts, 0.1);
+      EXPECT_DOUBLE_EQ(e.dur, 0.5);
+      EXPECT_EQ(e.tid, 0u);
+    }
+  }
+  EXPECT_TRUE(found_exec);
+}
+
+TEST(ChromeTrace, EventsOrderedAndNonOverlappingPerLane) {
+  const auto lanes = two_lane_fixture();
+  ParsedChromeTrace parsed;
+  ASSERT_TRUE(parse_chrome_trace(chrome_trace_json(lanes, 1, {}), parsed));
+
+  // Within a tid, X events must be time-ordered and non-overlapping (lanes
+  // are single-threaded timelines — Perfetto renders overlap as nesting,
+  // which a flat state machine must never produce).
+  for (std::uint32_t tid = 0; tid < 2; ++tid) {
+    double prev_end = -1.0;
+    for (const auto& e : parsed.events) {
+      if (e.ph != "X" || e.tid != tid) continue;
+      EXPECT_GE(e.ts, prev_end) << "overlap on tid " << tid;
+      EXPECT_GE(e.dur, 0.0);
+      prev_end = e.ts + e.dur;
+    }
+  }
+}
+
+TEST(ChromeTrace, CounterTrackEmitsMonotonicTimestamps) {
+  std::vector<rt::DepthSample> depth;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    depth.push_back({1000 + std::uint64_t{i} * 100, i % 4});
+  }
+  CounterTrack gauge{"arena.free_slots", {{1000, 256.0}, {1500, 192.0}}};
+  ParsedChromeTrace parsed;
+  ASSERT_TRUE(parse_chrome_trace(chrome_trace_json({}, 0, depth, {gauge}), parsed));
+
+  EXPECT_EQ(parsed.count("C"), 12u);
+  double prev_ready = -1.0, prev_gauge = -1.0;
+  std::size_t gauge_points = 0;
+  for (const auto& e : parsed.events) {
+    if (e.ph != "C") continue;
+    if (e.name == "ready_tasks") {
+      EXPECT_GT(e.ts, prev_ready);
+      prev_ready = e.ts;
+    } else {
+      EXPECT_EQ(e.name, "arena.free_slots");
+      EXPECT_GT(e.ts, prev_gauge);
+      prev_gauge = e.ts;
+      ++gauge_points;
+    }
+  }
+  EXPECT_EQ(gauge_points, 2u);
+}
+
+TEST(ChromeTrace, EmptyInputStillValidDocument) {
+  ParsedChromeTrace parsed;
+  const std::string json = chrome_trace_json({}, 0, {});
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+  // An empty event array parses to "no events" = false by contract.
+  EXPECT_FALSE(parse_chrome_trace(json, parsed));
+}
+
+TEST(ChromeTrace, RecorderRoundTrip) {
+  // Drive a real traced runtime, then export its recorder and parse back.
+  rt::Runtime runtime({.num_threads = 2, .enable_tracing = true});
+  const auto* type =
+      runtime.register_type({.name = "t", .memoizable = false, .atm = {}});
+  std::vector<int> cells(64, 0);
+  for (auto& c : cells) {
+    runtime.submit(type, [&c] { ++c; }, {rt::inout(&c, 1)});
+  }
+  runtime.taskwait();
+
+  const rt::TraceRecorder& rec = runtime.tracer();
+  std::vector<std::vector<TraceEvent>> lanes;
+  std::size_t recorded = 0;
+  for (std::size_t i = 0; i < rec.lane_count(); ++i) {
+    lanes.push_back(rec.lane(i));
+    recorded += lanes.back().size();
+  }
+  ASSERT_GT(recorded, 0u);
+
+  const std::string json =
+      chrome_trace_json(lanes, rec.master_lane(), rec.depth_samples());
+  ParsedChromeTrace parsed;
+  ASSERT_TRUE(parse_chrome_trace(json, parsed));
+
+  // Every recorded span and depth sample survives; one M record per lane.
+  EXPECT_EQ(parsed.count("X"), recorded);
+  EXPECT_EQ(parsed.count("C"), rec.depth_samples().size());
+  EXPECT_EQ(parsed.count("M"), rec.lane_count());
+  // All tids reference real lanes and some TaskExec spans made it through.
+  std::size_t exec_spans = 0;
+  for (const auto& e : parsed.events) {
+    EXPECT_LT(e.tid, rec.lane_count());
+    if (e.ph == "X" && e.name == "TaskExec") ++exec_spans;
+  }
+  EXPECT_GE(exec_spans, cells.size());
+}
+
+TEST(ChromeTrace, ParserRejectsGarbage) {
+  ParsedChromeTrace parsed;
+  EXPECT_FALSE(parse_chrome_trace("not json at all", parsed));
+  EXPECT_FALSE(parse_chrome_trace("{\"foo\": 1}", parsed));
+}
+
+}  // namespace
+}  // namespace atm::obs

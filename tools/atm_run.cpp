@@ -36,10 +36,24 @@
 //                          with relative jitter F (deterministic per
 //                          iteration, so --baseline stays an exact reference)
 //   --trace                print the per-core ASCII timeline
+//   --trace-json=FILE      record the full timeline and write it as Chrome
+//                          trace-event JSON (chrome://tracing / Perfetto);
+//                          with app=all, FILE gains a per-app suffix
 //   --stats                print runtime observability per app: two-level
 //                          dependence-index counters (exact hits / tree
 //                          fallbacks / prune scans) and scheduler gauges
 //                          (adaptive inbox batch cap, steal misses)
+//   --stats-json=FILE      dump the end-of-run metrics-registry snapshot
+//                          (every counter/gauge/histogram by name) as JSON
+//   --metrics-json=FILE    run the background sampler and dump its time
+//                          series as JSON (starts it at 10ms if no
+//                          --stats-interval was given)
+//   --metrics-csv=FILE     same series as CSV (counters/gauges only)
+//   --stats-interval=MS    sampler period; also echoes one live stderr
+//                          line per tick
+//   --profile              per-task-type execution-latency histograms
+//                          (task.<type>.exec_ns; two extra clock reads
+//                          per task)
 //   --baseline             also run mode=off and report speedup/correctness
 #include <cstdio>
 #include <cstring>
@@ -50,6 +64,7 @@
 #include "apps/app_registry.hpp"
 #include "atm/error_metric.hpp"
 #include "common/table.hpp"
+#include "obs/trace_export.hpp"
 #include "store/snapshot_io.hpp"
 
 namespace {
@@ -65,7 +80,59 @@ struct Options {
   bool stats = false;
   bool baseline = false;
   bool tol_preset = false;  ///< bare --tolerance: use each app's epsilon preset
+  std::string trace_json;   ///< Chrome trace-event output path ("" = off)
+  std::string stats_json;   ///< registry-snapshot output path ("" = off)
+  std::string metrics_json; ///< sampler-series JSON output path ("" = off)
+  std::string metrics_csv;  ///< sampler-series CSV output path ("" = off)
 };
+
+/// With app=all every app writes its own file: out.json -> out.jacobi.json.
+std::string per_app_path(const std::string& path, const std::string& app_name,
+                         bool multi) {
+  if (!multi) return path;
+  const std::size_t dot = path.rfind('.');
+  const std::size_t slash = path.rfind('/');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + "." + app_name;
+  }
+  return path.substr(0, dot) + "." + app_name + path.substr(dot);
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "atm_run: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+/// Every sampled gauge becomes a Chrome counter track next to the lanes, so
+/// Perfetto shows e.g. arena occupancy over the same time axis as the states.
+std::vector<obs::CounterTrack> sampler_counter_tracks(
+    const obs::MetricsSampler::Series& series) {
+  std::vector<obs::CounterTrack> tracks;
+  for (const obs::RegistrySnapshot& snap : series.samples) {
+    for (const obs::MetricSample& m : snap.metrics) {
+      if (m.kind != obs::MetricKind::Gauge) continue;
+      obs::CounterTrack* track = nullptr;
+      for (obs::CounterTrack& t : tracks) {
+        if (t.name == m.name) {
+          track = &t;
+          break;
+        }
+      }
+      if (track == nullptr) {
+        tracks.push_back({m.name, {}});
+        track = &tracks.back();
+      }
+      track->points.emplace_back(snap.t_ns, m.value);
+    }
+  }
+  return tracks;
+}
 
 bool parse_flag(const char* arg, const char* name, const char** value) {
   const std::size_t n = std::strlen(name);
@@ -90,7 +157,9 @@ int usage(const char* argv0) {
                "          [--n=K] [--m=K] [--l2] [--l2-budget-mb=K] [--l2-shards=K]\n"
                "          [--l2-compress] [--save-store=PATH] [--load-store=PATH]\n"
                "          [--tolerance[=F]] [--tolerance-abs=F] [--probes=K] [--noise=F]\n"
-               "          [--trace] [--stats] [--baseline]\n",
+               "          [--trace] [--trace-json=FILE] [--stats] [--stats-json=FILE]\n"
+               "          [--metrics-json=FILE] [--metrics-csv=FILE]\n"
+               "          [--stats-interval=MS] [--profile] [--baseline]\n",
                argv0);
   return 2;
 }
@@ -174,9 +243,23 @@ bool parse(int argc, char** argv, Options* opts) {
           static_cast<unsigned>(std::strtoul(value, nullptr, 10));
     } else if (parse_flag(arg, "--noise", &value)) {
       opts->config.input_noise = std::strtod(value, nullptr);
+    } else if (parse_flag(arg, "--trace-json", &value)) {
+      opts->trace_json = value;
+      opts->config.tracing = true;
     } else if (parse_flag(arg, "--trace", &value)) {
       opts->trace = true;
       opts->config.tracing = true;
+    } else if (parse_flag(arg, "--stats-json", &value)) {
+      opts->stats_json = value;
+    } else if (parse_flag(arg, "--stats-interval", &value)) {
+      opts->config.metrics_interval_ms = std::strtoull(value, nullptr, 10);
+      opts->config.metrics_live = true;
+    } else if (parse_flag(arg, "--metrics-json", &value)) {
+      opts->metrics_json = value;
+    } else if (parse_flag(arg, "--metrics-csv", &value)) {
+      opts->metrics_csv = value;
+    } else if (parse_flag(arg, "--profile", &value)) {
+      opts->config.profile_tasks = true;
     } else if (parse_flag(arg, "--stats", &value)) {
       opts->stats = true;
     } else if (parse_flag(arg, "--baseline", &value)) {
@@ -184,6 +267,12 @@ bool parse(int argc, char** argv, Options* opts) {
     } else {
       return false;
     }
+  }
+  // The sampler series is what --metrics-json/--metrics-csv dump; start it
+  // at a default period when the caller asked for the dump but no interval.
+  if ((!opts->metrics_json.empty() || !opts->metrics_csv.empty()) &&
+      opts->config.metrics_interval_ms == 0) {
+    opts->config.metrics_interval_ms = 10;
   }
   return true;
 }
@@ -266,8 +355,33 @@ void run_one(const App& app, const Options& opts, TablePrinter* table,
   }
 
   if (opts.trace && !run.ascii_timeline.empty()) {
-    std::printf("\n%s trace (.idle X exec h hash m memoize c create):\n%s",
+    std::printf("\n%s trace (.idle X exec h hash m memoize c create H help):\n%s",
                 app.name().c_str(), run.ascii_timeline.c_str());
+  }
+
+  const bool multi = opts.app == "all";
+  if (!opts.trace_json.empty() && !run.trace_lanes.empty()) {
+    const std::string json =
+        obs::chrome_trace_json(run.trace_lanes, run.trace_master_lane,
+                               run.depth_samples,
+                               sampler_counter_tracks(run.metrics_series));
+    const std::string path = per_app_path(opts.trace_json, app.name(), multi);
+    if (write_file(path, json)) {
+      std::fprintf(stderr, "atm_run: wrote Chrome trace %s (load in ui.perfetto.dev)\n",
+                   path.c_str());
+    }
+  }
+  if (!opts.stats_json.empty()) {
+    write_file(per_app_path(opts.stats_json, app.name(), multi),
+               run.metrics.to_json());
+  }
+  if (!opts.metrics_json.empty()) {
+    write_file(per_app_path(opts.metrics_json, app.name(), multi),
+               run.metrics_series.to_json());
+  }
+  if (!opts.metrics_csv.empty()) {
+    write_file(per_app_path(opts.metrics_csv, app.name(), multi),
+               run.metrics_series.to_csv());
   }
 }
 

@@ -7,14 +7,16 @@
 #           quick           non-timing smoke: ATM_SCALE=test, ATM_REPS=1,
 #                           and only the fast inspection/correctness set —
 #                           validates that the harnesses run, not timings
-#           json            machine-readable results: runs pr6_tolerance and
-#                           writes BENCH_pr6.json (or [json-out]) — bench
-#                           name -> ns/op plus derived speedups, reuse % and
-#                           the tolerance accuracy/reuse sweep. Storm bench
-#                           names match BENCH_pr5/pr4/pr3.json, so the
-#                           checked-in files A/B directly across PRs;
-#                           earlier BENCH_prN.json files are never
-#                           overwritten (append-only history).
+#           json            machine-readable results: runs pr7_observability
+#                           and writes BENCH_pr7.json (or [json-out]) — bench
+#                           name -> ns/op plus the metrics-on/off storm
+#                           ratios. Storm bench names match
+#                           BENCH_pr6/pr5/pr4/pr3.json, so the checked-in
+#                           files A/B directly across PRs; earlier
+#                           BENCH_prN.json files are never overwritten
+#                           (append-only history). Also archives an atm_run
+#                           metrics-registry snapshot next to the bench json
+#                           (<out>.stats.json) when atm_run is built.
 #
 # Benches run argument-less; scale comes from the environment:
 #   ATM_SCALE    problem-size preset multiplier   (default: harness-defined;
@@ -39,7 +41,7 @@ case "$PRESET" in
              fig3_speedup fig4_correctness fig5_p_sensitivity fig6_scalability \
              fig7_trace_gs fig8_trace_blackscholes fig9_reuse_cdf \
              ablation_sizing pr3_hotpath pr4_hotpath pr5_hotpath pr6_tolerance \
-             micro_atm"
+             pr7_observability micro_atm"
     ;;
   quick)
     # The timing-heavy sweeps (fig5/fig6/ablation run 16+ full configs) are
@@ -51,14 +53,23 @@ case "$PRESET" in
     export ATM_SCALE ATM_REPS
     ;;
   json)
-    OUT="${3:-BENCH_pr6.json}"
-    bin="$BUILD_DIR/pr6_tolerance"
+    OUT="${3:-BENCH_pr7.json}"
+    bin="$BUILD_DIR/pr7_observability"
     if [ ! -x "$bin" ]; then
       echo "error: $bin not built (cmake --build $BUILD_DIR --target bench)" >&2
       exit 1
     fi
     "$bin" --out="$OUT"
     echo "wrote $OUT"
+    # Archive a full metrics-registry snapshot of a representative run next
+    # to the bench json: the registry names are part of the contract
+    # (docs/OBSERVABILITY.md) and the archive shows what this build exported.
+    if [ -x "$BUILD_DIR/atm_run" ]; then
+      STATS_OUT="${OUT%.json}.stats.json"
+      "$BUILD_DIR/atm_run" jacobi --preset=test --stats-json="$STATS_OUT" \
+        > /dev/null
+      echo "wrote $STATS_OUT"
+    fi
     exit 0
     ;;
   *)
