@@ -27,7 +27,8 @@ rt::RuntimeConfig runtime_config(const RunConfig& config) {
           .metrics = config.metrics,
           .metrics_interval_ms = config.metrics_interval_ms,
           .metrics_live = config.metrics_live,
-          .profile_tasks = config.profile_tasks};
+          .profile_tasks = config.profile_tasks,
+          .profile_max_types = config.profile_max_types};
 }
 
 std::unique_ptr<AtmEngine> make_engine(const RunConfig& config) {
@@ -50,6 +51,7 @@ std::unique_ptr<AtmEngine> make_engine(const RunConfig& config) {
   c.l2_log2_shards = config.l2_log2_shards;
   c.l2_compress = config.l2_compress;
   c.reuse_log_cap = config.reuse_log_cap;
+  c.profile_max_types = config.profile_max_types;
   auto engine = std::make_unique<AtmEngine>(c);
   if (!config.load_store_path.empty()) {
     std::string error;

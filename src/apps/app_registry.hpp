@@ -82,6 +82,11 @@ struct RunConfig {
   bool profile_tasks = false;
   /// Cap on the engine's per-hit reuse-creator log (AtmConfig::reuse_log_cap).
   std::size_t reuse_log_cap = std::size_t{1} << 20;
+  /// Cap on distinct task-type ids that get per-type metric profiles
+  /// (task.<name>.exec_ns / atm.type.<name>.*). Sets both
+  /// rt::RuntimeConfig::profile_max_types and AtmConfig::profile_max_types
+  /// (`atm_run --profile-types=N`); types with id >= the cap run unprofiled.
+  std::size_t profile_max_types = 256;
 };
 
 /// Everything a run reports back to the harnesses.

@@ -5,9 +5,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "runtime/task.hpp"
 
 namespace atm {
@@ -95,16 +95,20 @@ class AtmStats {
   void log_reuse(rt::TaskId creator) {
     // Fast path once capped: a relaxed size check keeps a long stream of
     // hits off the mutex entirely (the log can no longer change).
+    // mo: relaxed — monotonic gate; the locked re-check below is exact.
     if (reuse_size_.load(std::memory_order_relaxed) >= reuse_log_cap_) {
+      // mo: relaxed — monotonic statistic; snapshot() tolerates races.
       reuse_log_dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    std::lock_guard<std::mutex> lock(reuse_mutex_);
+    MutexLock lock(reuse_mutex_);
     if (reuse_creators_.size() >= reuse_log_cap_) {
+      // mo: relaxed — monotonic statistic; snapshot() tolerates races.
       reuse_log_dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     reuse_creators_.push_back(creator);
+    // mo: relaxed — advisory mirror of the locked size for the fast path.
     reuse_size_.store(reuse_creators_.size(), std::memory_order_relaxed);
   }
 
@@ -129,7 +133,7 @@ class AtmStats {
     s.l2_demotions = l2_demotions.load();
     s.reuse_log_dropped = reuse_log_dropped_.load();
     {
-      std::lock_guard<std::mutex> lock(reuse_mutex_);
+      MutexLock lock(reuse_mutex_);
       s.reuse_creators = reuse_creators_;
     }
     return s;
@@ -153,9 +157,12 @@ class AtmStats {
     l2_hits = 0;
     l2_promotions = 0;
     l2_demotions = 0;
+    // mo: relaxed — reset() runs between measured phases, not concurrently
+    // with writers; no ordering to preserve.
     reuse_log_dropped_.store(0, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(reuse_mutex_);
+    MutexLock lock(reuse_mutex_);
     reuse_creators_.clear();
+    // mo: relaxed — advisory mirror of the locked size for the fast path.
     reuse_size_.store(0, std::memory_order_relaxed);
   }
 
@@ -163,8 +170,8 @@ class AtmStats {
   std::size_t reuse_log_cap_ = kDefaultReuseLogCap;
   std::atomic<std::size_t> reuse_size_{0};
   std::atomic<std::uint64_t> reuse_log_dropped_{0};
-  mutable std::mutex reuse_mutex_;
-  std::vector<rt::TaskId> reuse_creators_;
+  mutable Mutex reuse_mutex_;
+  std::vector<rt::TaskId> reuse_creators_ ATM_GUARDED_BY(reuse_mutex_);
 };
 
 }  // namespace atm

@@ -104,6 +104,13 @@ struct AtmConfig {
   /// cap, hits count into reuse_log_dropped instead of growing the vector —
   /// long streams previously grew it one entry per hit under a mutex.
   std::size_t reuse_log_cap = 1u << 20;
+
+  /// Cap on distinct task-type ids carrying per-type metric profiles
+  /// (atm.type.<name>.*): the profile slot array is sized to this at engine
+  /// construction, and types with id >= the cap run unprofiled (memoization
+  /// itself is unaffected). Mirrors rt::RuntimeConfig::profile_max_types;
+  /// atm_run --profile-types=N sets both.
+  std::size_t profile_max_types = 256;
 };
 
 }  // namespace atm

@@ -56,6 +56,8 @@ std::size_t output_bytes(const rt::Task& task) noexcept {
 
 AtmEngine::AtmEngine(AtmConfig config)
     : config_(config),
+      profile_max_types_(config.profile_max_types),
+      profiles_(std::make_unique<std::atomic<TypeProfile*>[]>(config.profile_max_types)),
       tht_(config.log2_buckets, config.bucket_capacity, config.arena_reserve_bytes,
            config.verify_full_inputs, config.eviction),
       ikt_(),
@@ -69,6 +71,7 @@ AtmEngine::AtmEngine(AtmConfig config)
     });
     // Demotion seam: every THT capacity eviction lands in the L2 tier.
     tht_.set_eviction_sink([this](EvictedEntry&& evicted) {
+      // mo: relaxed — monotonic statistic; snapshot() tolerates races.
       stats_.l2_demotions.fetch_add(1, std::memory_order_relaxed);
       l2_->put(to_store_entry(std::move(evicted)));
     });
@@ -100,8 +103,12 @@ void AtmEngine::release_registry() {
   runtime_ = nullptr;
   // The profile instruments lived in the departing runtime's registry;
   // drop the cache so a later re-attach recreates them on the new one.
-  std::lock_guard<std::mutex> lock(profiles_mutex_);
-  for (auto& slot : profiles_) slot.store(nullptr, std::memory_order_release);
+  MutexLock lock(profiles_mutex_);
+  for (std::size_t i = 0; i < profile_max_types_; ++i) {
+    // mo: release pairs with profile_for()'s acquire load — a reader that
+    // sees nullptr simply takes the slow path.
+    profiles_[i].store(nullptr, std::memory_order_release);
+  }
   profile_storage_.clear();
 }
 
@@ -146,10 +153,13 @@ void AtmEngine::on_attach(rt::Runtime& runtime) {
 }
 
 AtmEngine::TypeProfile* AtmEngine::profile_for(const rt::TaskType& type) {
-  if (metrics_ == nullptr || type.id() >= kMaxProfiledTypes) return nullptr;
+  if (metrics_ == nullptr || type.id() >= profile_max_types_) return nullptr;
+  // mo: acquire pairs with the publishing release store below so the
+  // TypeProfile's instrument pointers are visible through the slot.
   TypeProfile* p = profiles_[type.id()].load(std::memory_order_acquire);
   if (p != nullptr) return p;
-  std::lock_guard<std::mutex> lock(profiles_mutex_);
+  MutexLock lock(profiles_mutex_);
+  // mo: relaxed — the mutex orders this re-check against racing creators.
   p = profiles_[type.id()].load(std::memory_order_relaxed);
   if (p != nullptr) return p;
   auto prof = std::make_unique<TypeProfile>();
@@ -162,12 +172,13 @@ AtmEngine::TypeProfile* AtmEngine::profile_for(const rt::TaskType& type) {
   prof->update_ns = metrics_->histogram(base + "update_ns", "ns", "engine");
   p = prof.get();
   profile_storage_.push_back(std::move(prof));
+  // mo: release publishes the fully-built TypeProfile to lock-free readers.
   profiles_[type.id()].store(p, std::memory_order_release);
   return p;
 }
 
 TrainingController& AtmEngine::controller(const rt::TaskType& type) {
-  std::lock_guard<std::mutex> lock(controllers_mutex_);
+  MutexLock lock(controllers_mutex_);
   auto it = controllers_.find(type.id());
   if (it != controllers_.end()) return *it->second;
 
@@ -228,6 +239,7 @@ rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size
   // Chaotic outputs identified during training are never memoized (§III-D);
   // skip the hash as well — the key would go unused.
   if (ctl.is_blacklisted(task)) {
+    // mo: relaxed — monotonic statistic; snapshot() tolerates races.
     stats_.blacklist_skips.fetch_add(1, std::memory_order_relaxed);
     return Decision::Execute;
   }
@@ -253,10 +265,12 @@ rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size
   // takes anyway, so profiling adds relaxed increments only.
   TypeProfile* prof = profile_for(type);
   if (prof != nullptr) prof->hash_ns->record(h1 - h0);
+  // mo: relaxed — monotonic statistics; snapshot() tolerates races.
   stats_.keys_computed.fetch_add(1, std::memory_order_relaxed);
   stats_.hash_ns.fetch_add(h1 - h0, std::memory_order_relaxed);
   stats_.hash_bytes.fetch_add(key.bytes_hashed, std::memory_order_relaxed);
   if (key.oob != 0) {
+    // mo: relaxed — monotonic statistic; snapshot() tolerates races.
     stats_.key_gather_oob.fetch_add(key.oob, std::memory_order_relaxed);
   }
 
@@ -271,6 +285,7 @@ rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size
       if (runtime_ != nullptr) {
         runtime_->tracer().record(lane, rt::TraceState::Memoize, c0, c1);
       }
+      // mo: relaxed — monotonic statistics; snapshot() tolerates races.
       stats_.copy_out_ns.fetch_add(c1 - c0, std::memory_order_relaxed);
       stats_.tht_hits.fetch_add(1, std::memory_order_relaxed);
       if (tol.active()) stats_.tolerance_hits.fetch_add(1, std::memory_order_relaxed);
@@ -293,6 +308,7 @@ rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size
       if (runtime_ != nullptr) {
         runtime_->tracer().record(lane, rt::TraceState::Memoize, c0, c1);
       }
+      // mo: relaxed — monotonic statistics; snapshot() tolerates races.
       stats_.copy_out_ns.fetch_add(c1 - c0, std::memory_order_relaxed);
       stats_.tht_hits.fetch_add(1, std::memory_order_relaxed);
       stats_.tolerance_hits.fetch_add(1, std::memory_order_relaxed);
@@ -305,6 +321,7 @@ rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size
       }
       return Decision::Hit;
     }
+    // mo: relaxed — monotonic statistic; snapshot() tolerates races.
     stats_.tht_misses.fetch_add(1, std::memory_order_relaxed);
     if (prof != nullptr) prof->misses->inc();
 
@@ -324,6 +341,7 @@ rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size
             runtime_->tracer().record(lane, rt::TraceState::Memoize, c0, c1);
           }
           tht_.insert_snapshot(type.id(), key.key, p, entry_creator, snap);
+          // mo: relaxed — monotonic statistics; snapshot() tolerates races.
           stats_.copy_out_ns.fetch_add(c1 - c0, std::memory_order_relaxed);
           stats_.l2_hits.fetch_add(1, std::memory_order_relaxed);
           stats_.l2_promotions.fetch_add(1, std::memory_order_relaxed);
@@ -355,6 +373,7 @@ rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size
       const auto res =
           ikt_.register_or_attach(type.id(), key.key, p, &task, /*allow_attach=*/true);
       if (res == InFlightKeyTable::RegisterResult::AttachedToTwin) {
+        // mo: relaxed — monotonic statistic; snapshot() tolerates races.
         stats_.ikt_hits.fetch_add(1, std::memory_order_relaxed);
         return Decision::Deferred;
       }
@@ -371,8 +390,9 @@ rt::MemoizationHook::Decision AtmEngine::on_task_ready(rt::Task& task, std::size
   rt::TaskId creator = 0;
   if (tht_.lookup_snapshot(type.id(), key.key, p, &snapshot, &creator)) {
     if (snapshot.matches_shape(task)) {
+      // mo: relaxed — monotonic statistic; snapshot() tolerates races.
       stats_.training_hits.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(checks_mutex_);
+      MutexLock lock(checks_mutex_);
       pending_checks_.emplace(&task, PendingCheck{std::move(snapshot), creator});
     }
   }
@@ -394,7 +414,7 @@ void AtmEngine::on_task_executed(rt::Task& task, std::size_t lane) {
   bool had_check = false;
   PendingCheck check;
   {
-    std::lock_guard<std::mutex> lock(checks_mutex_);
+    MutexLock lock(checks_mutex_);
     auto it = pending_checks_.find(&task);
     if (it != pending_checks_.end()) {
       check = std::move(it->second);
@@ -405,6 +425,7 @@ void AtmEngine::on_task_executed(rt::Task& task, std::size_t lane) {
   if (had_check) {
     const double tau = task_output_tau(task, check.snapshot);
     if (tau >= ctl.params().tau_max) {
+      // mo: relaxed — monotonic statistic; snapshot() tolerates races.
       stats_.training_failures.fetch_add(1, std::memory_order_relaxed);
       ctl.blacklist_outputs(task);
     }
@@ -418,6 +439,7 @@ void AtmEngine::on_task_executed(rt::Task& task, std::size_t lane) {
   if (runtime_ != nullptr) {
     runtime_->tracer().record(lane, rt::TraceState::Memoize, u0, u1);
   }
+  // mo: relaxed — monotonic statistic; snapshot() tolerates races.
   stats_.update_ns.fetch_add(u1 - u0, std::memory_order_relaxed);
   if (TypeProfile* prof = profile_for(type)) prof->update_ns->record(u1 - u0);
 
@@ -432,6 +454,7 @@ void AtmEngine::on_task_executed(rt::Task& task, std::size_t lane) {
       if (runtime_ != nullptr) {
         runtime_->tracer().record(lane, rt::TraceState::Memoize, c0, c1);
       }
+      // mo: relaxed — monotonic statistic; snapshot() tolerates races.
       stats_.copy_out_ns.fetch_add(c1 - c0, std::memory_order_relaxed);
       stats_.log_reuse(task.id);
       if (runtime_ != nullptr) {
@@ -486,7 +509,7 @@ AtmStatsSnapshot AtmEngine::stats() const {
 bool AtmEngine::save_store(const std::string& path, std::string* error) const {
   store::StoreImage image;
   {
-    std::lock_guard<std::mutex> lock(controllers_mutex_);
+    MutexLock lock(controllers_mutex_);
     for (const auto& [id, ctl] : controllers_) {
       store::ControllerState state;
       state.type_id = id;
@@ -508,8 +531,11 @@ bool AtmEngine::save_store(const std::string& path, std::string* error) const {
 bool AtmEngine::load_store(const std::string& path, std::string* error) {
   auto image = store::load(path, error);
   if (!image.has_value()) return false;
-  for (const store::ControllerState& state : image->controllers) {
-    warm_controllers_[state.type_id] = state;
+  {
+    MutexLock lock(controllers_mutex_);
+    for (const store::ControllerState& state : image->controllers) {
+      warm_controllers_[state.type_id] = state;
+    }
   }
   // L1 entries re-insert through the normal path: once a bucket fills, the
   // eviction sink (when the L2 tier is on) demotes the overflow instead of
@@ -533,14 +559,14 @@ std::size_t AtmEngine::memory_bytes() const {
   std::size_t n = tht_.memory_bytes() + ikt_.memory_bytes() + sampler_.memory_bytes();
   if (l2_ != nullptr) n += l2_->memory_bytes();
   {
-    std::lock_guard<std::mutex> lock(controllers_mutex_);
+    MutexLock lock(controllers_mutex_);
     for (const auto& [id, ctl] : controllers_) {
       (void)id;
       n += ctl->memory_bytes();
     }
   }
   {
-    std::lock_guard<std::mutex> lock(checks_mutex_);
+    MutexLock lock(checks_mutex_);
     for (const auto& [task, check] : pending_checks_) {
       (void)task;
       n += check.snapshot.total_bytes();

@@ -19,16 +19,15 @@
 //        fulfill postponed copies ──► complete deferred consumers.
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "atm/atm_stats.hpp"
+#include "common/mutex.hpp"
 #include "obs/metrics.hpp"
 #include "atm/config.hpp"
 #include "atm/ikt.hpp"
@@ -118,7 +117,7 @@ class AtmEngine final : public rt::MemoizationHook {
   };
 
   /// Lazily created profile for `type`; nullptr before on_attach (no
-  /// registry yet) or past kMaxProfiledTypes.
+  /// registry yet) or past the AtmConfig::profile_max_types cap.
   TypeProfile* profile_for(const rt::TaskType& type);
 
   /// Drop everything registered on the current runtime's registry: the
@@ -140,24 +139,31 @@ class AtmEngine final : public rt::MemoizationHook {
   std::size_t collector_id_ = 0;
   bool collector_registered_ = false;
 
-  static constexpr std::size_t kMaxProfiledTypes = 256;
-  std::array<std::atomic<TypeProfile*>, kMaxProfiledTypes> profiles_{};
-  std::mutex profiles_mutex_;
-  std::vector<std::unique_ptr<TypeProfile>> profile_storage_;
+  /// Per-type profile slots, sized to AtmConfig::profile_max_types at
+  /// construction. The hot path reads its slot lock-free; the mutex only
+  /// serializes lazy creation and teardown of the backing storage.
+  std::size_t profile_max_types_;
+  std::unique_ptr<std::atomic<TypeProfile*>[]> profiles_;
+  Mutex profiles_mutex_;
+  std::vector<std::unique_ptr<TypeProfile>> profile_storage_
+      ATM_GUARDED_BY(profiles_mutex_);
   TaskHistoryTable tht_;
   InFlightKeyTable ikt_;
   InputSampler sampler_;
   AtmStats stats_;
   std::unique_ptr<store::L2CapacityStore> l2_;
 
-  mutable std::mutex controllers_mutex_;
-  std::unordered_map<std::uint32_t, std::unique_ptr<TrainingController>> controllers_;
+  mutable Mutex controllers_mutex_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<TrainingController>> controllers_
+      ATM_GUARDED_BY(controllers_mutex_);
   /// Controller states restored by load_store(), consumed lazily when a
   /// Dynamic-mode controller is first created for the type.
-  std::unordered_map<std::uint32_t, store::ControllerState> warm_controllers_;
+  std::unordered_map<std::uint32_t, store::ControllerState> warm_controllers_
+      ATM_GUARDED_BY(controllers_mutex_);
 
-  mutable std::mutex checks_mutex_;
-  std::unordered_map<const rt::Task*, PendingCheck> pending_checks_;
+  mutable Mutex checks_mutex_;
+  std::unordered_map<const rt::Task*, PendingCheck> pending_checks_
+      ATM_GUARDED_BY(checks_mutex_);
 };
 
 }  // namespace atm

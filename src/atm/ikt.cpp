@@ -6,7 +6,7 @@ namespace atm {
 
 InFlightKeyTable::RegisterResult InFlightKeyTable::register_or_attach(
     std::uint32_t type_id, HashKey key, double p, rt::Task* task, bool allow_attach) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (Entry& e : entries_) {
     if (e.key == key && e.type_id == type_id && e.p == p) {
       if (allow_attach && output_shapes_match(*e.owner, *task)) {
@@ -22,7 +22,7 @@ InFlightKeyTable::RegisterResult InFlightKeyTable::register_or_attach(
 }
 
 std::vector<rt::Task*> InFlightKeyTable::retire(const rt::Task* owner) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     if (entries_[i].owner == owner) {
       std::vector<rt::Task*> pending = std::move(entries_[i].pending);
@@ -35,19 +35,19 @@ std::vector<rt::Task*> InFlightKeyTable::retire(const rt::Task* owner) {
 }
 
 std::size_t InFlightKeyTable::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::size_t InFlightKeyTable::pending_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const Entry& e : entries_) n += e.pending.size();
   return n;
 }
 
 std::size_t InFlightKeyTable::memory_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t n = sizeof(*this) + entries_.capacity() * sizeof(Entry);
   for (const Entry& e : entries_) n += e.pending.capacity() * sizeof(rt::Task*);
   return n;

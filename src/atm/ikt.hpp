@@ -13,10 +13,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/mutex.hpp"
 #include "runtime/task.hpp"
 
 namespace atm {
@@ -53,8 +53,8 @@ class InFlightKeyTable {
     std::vector<rt::Task*> pending;
   };
 
-  mutable std::mutex mutex_;
-  std::vector<Entry> entries_;
+  mutable Mutex mutex_;
+  std::vector<Entry> entries_ ATM_GUARDED_BY(mutex_);
 };
 
 }  // namespace atm

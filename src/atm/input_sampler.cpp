@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
-#include <mutex>
 
 #include "common/rng.hpp"
 
@@ -89,13 +88,13 @@ const GatherPlan& InputSampler::plan_for(std::uint32_t type_id,
   const PlanKey key{type_id, layout.fingerprint(),
                     std::bit_cast<std::uint64_t>(effective_p)};
   {
-    std::shared_lock<std::shared_mutex> lock(plan_mutex_);
+    SharedReadLock lock(plan_mutex_);
     auto it = plans_.find(key);
     if (it != plans_.end()) return *it->second;
   }
   const auto& order = order_for(type_id, layout);
   auto plan = std::make_unique<GatherPlan>(build_gather_plan(layout, order, effective_p));
-  std::unique_lock<std::shared_mutex> lock(plan_mutex_);
+  SharedWriteLock lock(plan_mutex_);
   auto [it, inserted] = plans_.emplace(key, std::move(plan));
   (void)inserted;  // a racing builder may have won; theirs is equivalent
   return *it->second;
@@ -105,12 +104,12 @@ const std::vector<std::uint32_t>& InputSampler::order_for(std::uint32_t type_id,
                                                           const InputLayout& layout) {
   const auto key = std::make_pair(type_id, layout.fingerprint());
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    SharedReadLock lock(mutex_);
     auto it = cache_.find(key);
     if (it != cache_.end()) return *it->second;
   }
   auto order = std::make_unique<std::vector<std::uint32_t>>(build_order(type_id, layout));
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  SharedWriteLock lock(mutex_);
   auto [it, inserted] = cache_.emplace(key, std::move(order));
   (void)inserted;  // a racing builder may have won; theirs is equivalent
   return *it->second;
@@ -157,14 +156,14 @@ std::vector<std::uint32_t> InputSampler::build_order(std::uint32_t type_id,
 std::size_t InputSampler::memory_bytes() const {
   std::size_t n = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    SharedReadLock lock(mutex_);
     for (const auto& [key, vec] : cache_) {
       (void)key;
       n += vec->capacity() * sizeof(std::uint32_t) + sizeof(*vec);
     }
   }
   {
-    std::shared_lock<std::shared_mutex> lock(plan_mutex_);
+    SharedReadLock lock(plan_mutex_);
     for (const auto& [key, plan] : plans_) {
       (void)key;
       n += plan->memory_bytes();
@@ -174,12 +173,12 @@ std::size_t InputSampler::memory_bytes() const {
 }
 
 std::size_t InputSampler::cache_entries() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  SharedReadLock lock(mutex_);
   return cache_.size();
 }
 
 std::size_t InputSampler::plan_entries() const {
-  std::shared_lock<std::shared_mutex> lock(plan_mutex_);
+  SharedReadLock lock(plan_mutex_);
   return plans_.size();
 }
 

@@ -13,11 +13,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <tuple>
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/mutex.hpp"
 #include "runtime/task.hpp"
 
 namespace atm {
@@ -113,17 +113,17 @@ class InputSampler {
 
   bool type_aware_;
   std::uint64_t seed_;
-  mutable std::shared_mutex mutex_;
+  mutable SharedMutex mutex_;
   std::map<std::pair<std::uint32_t, std::uint64_t>,
            std::unique_ptr<std::vector<std::uint32_t>>>
-      cache_;
+      cache_ ATM_GUARDED_BY(mutex_);
 
   /// Plans keyed by (type, layout fingerprint, bit pattern of p). p values
   /// come from the 16-step training ladder or a caller-fixed constant, so
   /// bitwise identity is the right equality.
   using PlanKey = std::tuple<std::uint32_t, std::uint64_t, std::uint64_t>;
-  mutable std::shared_mutex plan_mutex_;
-  std::map<PlanKey, std::unique_ptr<GatherPlan>> plans_;
+  mutable SharedMutex plan_mutex_;
+  std::map<PlanKey, std::unique_ptr<GatherPlan>> plans_ ATM_GUARDED_BY(plan_mutex_);
 };
 
 }  // namespace atm

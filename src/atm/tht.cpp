@@ -1,7 +1,6 @@
 #include "atm/tht.hpp"
 
 #include <cstring>
-#include <mutex>
 
 #include "common/timing.hpp"
 
@@ -91,28 +90,21 @@ TaskHistoryTable::TaskHistoryTable(unsigned log2_buckets, unsigned bucket_capaci
   memory_.store(buckets_.size() * sizeof(Bucket));
 }
 
-bool TaskHistoryTable::lookup_and_copy(std::uint32_t type_id, HashKey key, double p,
-                                       rt::Task& consumer, rt::TaskId* creator,
-                                       std::uint64_t* copy_t0, std::uint64_t* copy_t1) {
-  Bucket& b = bucket_for(key);
-  // FIFO (paper): shared lock, parallel reads. LRU: the recency update
-  // mutates the bucket, forcing an exclusive lock — one reason the paper's
-  // FIFO + parallel-read design is the right default.
-  std::shared_lock<SharedSpinMutex> shared_lock(b.mutex, std::defer_lock);
-  std::unique_lock<SharedSpinMutex> unique_lock(b.mutex, std::defer_lock);
-  if (eviction_ == EvictionPolicy::Lru) {
-    unique_lock.lock();
-  } else {
-    shared_lock.lock();
-  }
+std::size_t TaskHistoryTable::find_and_copy_locked(Bucket& b, std::uint32_t type_id,
+                                                   HashKey key, double p,
+                                                   rt::Task& consumer,
+                                                   rt::TaskId* creator,
+                                                   std::uint64_t* copy_t0,
+                                                   std::uint64_t* copy_t1) {
   for (std::size_t idx = 0; idx < b.entries.size(); ++idx) {
-    Entry& e = b.entries[idx];
+    const Entry& e = b.entries[idx];
     if (!entry_matches(e, type_id, key, p)) continue;
-    if (!e.matches_shape(consumer)) return false;
+    if (!e.matches_shape(consumer)) return kNoEntry;
     if (verify_full_inputs_ && !e.inputs_equal(consumer)) {
       // Hash false positive caught by the SIII-E full-input check.
+      // mo: relaxed — standalone statistic; readers need no ordering.
       verification_rejects_.fetch_add(1, std::memory_order_relaxed);
-      return false;
+      return kNoEntry;
     }
     const std::uint64_t t0 = now_ns();
     std::size_t i = 0;
@@ -125,7 +117,24 @@ bool TaskHistoryTable::lookup_and_copy(std::uint32_t type_id, HashKey key, doubl
     if (creator != nullptr) *creator = e.creator;
     if (copy_t0 != nullptr) *copy_t0 = t0;
     if (copy_t1 != nullptr) *copy_t1 = t1;
-    if (eviction_ == EvictionPolicy::Lru && idx + 1 != b.entries.size()) {
+    return idx;
+  }
+  return kNoEntry;
+}
+
+bool TaskHistoryTable::lookup_and_copy(std::uint32_t type_id, HashKey key, double p,
+                                       rt::Task& consumer, rt::TaskId* creator,
+                                       std::uint64_t* copy_t0, std::uint64_t* copy_t1) {
+  Bucket& b = bucket_for(key);
+  if (eviction_ == EvictionPolicy::Lru) {
+    // LRU: the recency update mutates the bucket, forcing an exclusive lock
+    // — one reason the paper's FIFO + parallel-read design is the right
+    // default.
+    SharedSpinWriteLock lock(b.mutex);
+    const std::size_t idx =
+        find_and_copy_locked(b, type_id, key, p, consumer, creator, copy_t0, copy_t1);
+    if (idx == kNoEntry) return false;
+    if (idx + 1 != b.entries.size()) {
       // Move-to-back: the eviction end (front) holds the least recent.
       Entry moved = std::move(b.entries[idx]);
       b.entries.erase(b.entries.begin() + static_cast<std::ptrdiff_t>(idx));
@@ -133,7 +142,10 @@ bool TaskHistoryTable::lookup_and_copy(std::uint32_t type_id, HashKey key, doubl
     }
     return true;
   }
-  return false;
+  // FIFO (paper): shared lock, parallel reads.
+  SharedSpinReadLock lock(b.mutex);
+  return find_and_copy_locked(b, type_id, key, p, consumer, creator, copy_t0,
+                              copy_t1) != kNoEntry;
 }
 
 bool TaskHistoryTable::lookup_multi_and_copy(std::uint32_t type_id, const HashKey* keys,
@@ -154,7 +166,7 @@ bool TaskHistoryTable::lookup_multi_and_copy(std::uint32_t type_id, const HashKe
 bool TaskHistoryTable::lookup_snapshot(std::uint32_t type_id, HashKey key, double p,
                                        OutputSnapshot* out, rt::TaskId* creator) const {
   const Bucket& b = bucket_for(key);
-  std::shared_lock<SharedSpinMutex> lock(b.mutex);
+  SharedSpinReadLock lock(b.mutex);
   for (const Entry& e : b.entries) {
     if (!entry_matches(e, type_id, key, p)) continue;
     if (out != nullptr) {
@@ -174,7 +186,7 @@ bool TaskHistoryTable::lookup_snapshot(std::uint32_t type_id, HashKey key, doubl
 
 bool TaskHistoryTable::contains(std::uint32_t type_id, HashKey key, double p) const {
   const Bucket& b = bucket_for(key);
-  std::shared_lock<SharedSpinMutex> lock(b.mutex);
+  SharedSpinReadLock lock(b.mutex);
   for (const Entry& e : b.entries) {
     if (entry_matches(e, type_id, key, p)) return true;
   }
@@ -211,21 +223,28 @@ void TaskHistoryTable::evict_front_locked(Bucket& b) {
   }
   release_entry(victim);
   b.entries.pop_front();
+  // mo: relaxed — standalone statistic; readers need no ordering.
   evictions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void TaskHistoryTable::insert_entry(Bucket& b, Entry&& e, std::size_t snap_bytes) {
-  std::unique_lock<SharedSpinMutex> lock(b.mutex);
-  for (Entry& existing : b.entries) {
-    if (entry_matches(existing, e.type_id, e.key, e.p)) {
-      lock.unlock();
-      release_entry(e);  // raced duplicate: recycle our buffers
+  {
+    SharedSpinWriteLock lock(b.mutex);
+    bool duplicate = false;
+    for (const Entry& existing : b.entries) {
+      if (entry_matches(existing, e.type_id, e.key, e.p)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      if (b.entries.size() >= capacity_) evict_front_locked(b);
+      b.entries.push_back(std::move(e));
+      memory_.fetch_add(snap_bytes + sizeof(Entry));
       return;
     }
   }
-  if (b.entries.size() >= capacity_) evict_front_locked(b);
-  b.entries.push_back(std::move(e));
-  memory_.fetch_add(snap_bytes + sizeof(Entry));
+  release_entry(e);  // raced duplicate: recycle our buffers outside the lock
 }
 
 void TaskHistoryTable::insert(std::uint32_t type_id, HashKey key, double p,
@@ -296,7 +315,7 @@ void TaskHistoryTable::insert_snapshot(std::uint32_t type_id, HashKey key, doubl
 void TaskHistoryTable::for_each_entry(
     const std::function<void(EvictedEntry&&)>& fn) const {
   for (const Bucket& b : buckets_) {
-    std::shared_lock<SharedSpinMutex> lock(b.mutex);
+    SharedSpinReadLock lock(b.mutex);
     for (const Entry& e : b.entries) {
       EvictedEntry out;
       out.type_id = e.type_id;
@@ -317,7 +336,7 @@ void TaskHistoryTable::for_each_entry(
 
 void TaskHistoryTable::clear() {
   for (Bucket& b : buckets_) {
-    std::unique_lock<SharedSpinMutex> lock(b.mutex);
+    SharedSpinWriteLock lock(b.mutex);
     for (Entry& e : b.entries) release_entry(e);
     b.entries.clear();
   }
@@ -327,7 +346,7 @@ void TaskHistoryTable::clear() {
 std::size_t TaskHistoryTable::entry_count() const {
   std::size_t n = 0;
   for (const Bucket& b : buckets_) {
-    std::shared_lock<SharedSpinMutex> lock(b.mutex);
+    SharedSpinReadLock lock(b.mutex);
     n += b.entries.size();
   }
   return n;

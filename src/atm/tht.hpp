@@ -17,8 +17,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
-#include <shared_mutex>
 #include <vector>
 
 #include "atm/config.hpp"
@@ -188,15 +186,26 @@ class TaskHistoryTable {
   /// buckets cannot false-share with inserts elsewhere.
   struct alignas(64) Bucket {
     mutable SharedSpinMutex mutex;
-    std::deque<Entry> entries;
+    std::deque<Entry> entries ATM_GUARDED_BY(mutex);
   };
+
+  /// Sentinel returned by find_and_copy_locked() when no entry served the hit.
+  static constexpr std::size_t kNoEntry = static_cast<std::size_t>(-1);
 
   void release_entry(Entry& entry);
   /// Evict the replacement-policy victim of a full bucket (caller holds the
   /// bucket's exclusive lock), feeding the demotion sink when installed.
-  void evict_front_locked(Bucket& bucket);
+  void evict_front_locked(Bucket& bucket) ATM_REQUIRES(bucket.mutex);
   /// Shared tail of insert()/insert_snapshot(): dedup-check, evict, append.
   void insert_entry(Bucket& bucket, Entry&& entry, std::size_t snap_bytes);
+  /// Scan `bucket` for (type, key, p); on a serving hit copy the stored
+  /// outputs into `consumer` and return the entry index (kNoEntry
+  /// otherwise). Read-only on the bucket — legal under the shared mode; the
+  /// LRU caller holds the exclusive mode and reorders afterwards.
+  std::size_t find_and_copy_locked(Bucket& bucket, std::uint32_t type_id, HashKey key,
+                                   double p, rt::Task& consumer, rt::TaskId* creator,
+                                   std::uint64_t* copy_t0, std::uint64_t* copy_t1)
+      ATM_REQUIRES_SHARED(bucket.mutex);
 
   [[nodiscard]] Bucket& bucket_for(HashKey key) noexcept {
     return buckets_[key & mask_];

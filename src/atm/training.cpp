@@ -3,7 +3,7 @@
 namespace atm {
 
 void TrainingController::report_trained(double tau) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (phase_ != TrainingPhase::Training) return;
   if (p_history_.empty()) p_history_.push_back(p_);
   if (tau >= params_.tau_max) {
@@ -20,7 +20,7 @@ void TrainingController::report_trained(double tau) {
 }
 
 void TrainingController::note_trained_task() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (phase_ != TrainingPhase::Training) return;
   ++trained_tasks_;
   if (task_cap_ != 0 && trained_tasks_ >= task_cap_) {
@@ -29,14 +29,14 @@ void TrainingController::note_trained_task() {
 }
 
 void TrainingController::blacklist_outputs(const rt::Task& task) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& a : task.accesses) {
     if (a.is_output()) unstable_outputs_.insert(a.ptr);
   }
 }
 
 bool TrainingController::is_blacklisted(const rt::Task& task) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (unstable_outputs_.empty()) return false;
   for (const auto& a : task.accesses) {
     if (a.is_output() && unstable_outputs_.count(a.ptr) != 0) return true;

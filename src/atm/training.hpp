@@ -14,11 +14,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "atm/config.hpp"
+#include "common/mutex.hpp"
 #include "runtime/task.hpp"
 
 namespace atm {
@@ -49,12 +49,12 @@ class TrainingController {
   }
 
   [[nodiscard]] TrainingPhase phase() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return phase_;
   }
 
   [[nodiscard]] double current_p() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return p_;
   }
 
@@ -77,37 +77,37 @@ class TrainingController {
   [[nodiscard]] bool is_blacklisted(const rt::Task& task) const;
 
   [[nodiscard]] std::size_t blacklist_size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return unstable_outputs_.size();
   }
 
   /// Every p value the controller has visited (first = initial).
   [[nodiscard]] std::vector<double> p_history() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return p_history_;
   }
 
   [[nodiscard]] std::uint64_t trained_tasks() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return trained_tasks_;
   }
 
   [[nodiscard]] std::size_t memory_bytes() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return sizeof(*this) + unstable_outputs_.size() * (sizeof(void*) + 32) +
            p_history_.capacity() * sizeof(double);
   }
 
  private:
   rt::AtmParams params_;
-  mutable std::mutex mutex_;
-  TrainingPhase phase_ = TrainingPhase::Training;
-  double p_;
-  std::uint32_t success_streak_ = 0;
-  std::uint64_t trained_tasks_ = 0;
+  mutable Mutex mutex_;
+  TrainingPhase phase_ ATM_GUARDED_BY(mutex_) = TrainingPhase::Training;
+  double p_ ATM_GUARDED_BY(mutex_);
+  std::uint32_t success_streak_ ATM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t trained_tasks_ ATM_GUARDED_BY(mutex_) = 0;
   std::uint64_t task_cap_ = 0;
-  std::vector<double> p_history_{};
-  std::set<const void*> unstable_outputs_;
+  std::vector<double> p_history_ ATM_GUARDED_BY(mutex_){};
+  std::set<const void*> unstable_outputs_ ATM_GUARDED_BY(mutex_);
 };
 
 }  // namespace atm

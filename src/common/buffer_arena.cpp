@@ -10,6 +10,9 @@ constexpr std::size_t align8(std::size_t n) noexcept { return (n + 7) & ~std::si
 
 BufferArena::BufferArena(std::size_t slab_bytes, std::size_t initial_reserve)
     : slab_bytes_(slab_bytes != 0 ? slab_bytes : std::size_t{4} << 20) {
+  // No other thread can see the arena yet; the lock only satisfies
+  // add_slab's capability requirement.
+  MutexLock lock(mutex_);
   if (initial_reserve != 0) add_slab(initial_reserve);
 }
 
@@ -26,7 +29,7 @@ void BufferArena::add_slab(std::size_t bytes) {
 std::uint8_t* BufferArena::acquire(std::size_t bytes) {
   if (bytes == 0) return nullptr;
   const std::size_t want = align8(bytes);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = free_lists_.find(want);
   if (it != free_lists_.end() && !it->second.empty()) {
     std::uint8_t* buf = it->second.back();
@@ -47,18 +50,18 @@ std::uint8_t* BufferArena::acquire(std::size_t bytes) {
 void BufferArena::release(std::uint8_t* buffer, std::size_t bytes) {
   if (buffer == nullptr || bytes == 0) return;
   const std::size_t want = align8(bytes);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   free_lists_[want].push_back(buffer);
   outstanding_ -= want;
 }
 
 std::size_t BufferArena::reserved_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return reserved_;
 }
 
 std::size_t BufferArena::outstanding_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return outstanding_;
 }
 

@@ -12,9 +12,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace atm {
 
@@ -43,16 +44,17 @@ class BufferArena {
   [[nodiscard]] std::size_t outstanding_bytes() const;
 
  private:
-  void add_slab(std::size_t bytes);
+  void add_slab(std::size_t bytes) ATM_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::size_t slab_bytes_;
-  std::vector<std::unique_ptr<std::uint8_t[]>> slabs_;
-  std::size_t slab_remaining_ = 0;
-  std::uint8_t* slab_cursor_ = nullptr;
-  std::unordered_map<std::size_t, std::vector<std::uint8_t*>> free_lists_;
-  std::size_t reserved_ = 0;
-  std::size_t outstanding_ = 0;
+  std::vector<std::unique_ptr<std::uint8_t[]>> slabs_ ATM_GUARDED_BY(mutex_);
+  std::size_t slab_remaining_ ATM_GUARDED_BY(mutex_) = 0;
+  std::uint8_t* slab_cursor_ ATM_GUARDED_BY(mutex_) = nullptr;
+  std::unordered_map<std::size_t, std::vector<std::uint8_t*>> free_lists_
+      ATM_GUARDED_BY(mutex_);
+  std::size_t reserved_ ATM_GUARDED_BY(mutex_) = 0;
+  std::size_t outstanding_ ATM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace atm

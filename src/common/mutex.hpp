@@ -1,0 +1,148 @@
+// Annotated blocking-lock vocabulary: thin wrappers over std::mutex /
+// std::shared_mutex / std::condition_variable carrying Clang Thread Safety
+// capability attributes, plus the RAII guards the rest of the tree uses.
+//
+// libstdc++'s lock types have no capability annotations, so code locking a
+// raw std::mutex through std::lock_guard is invisible to the analysis. All
+// blocking locks in src/ go through these wrappers instead (lint rule R5
+// enforces it); the wrappers are zero-overhead — every method is a single
+// forwarded inline call, and CondVar::wait round-trips through the native
+// handle with adopt/release so no second lock operation ever happens.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_safety.hpp"
+
+namespace atm {
+
+/// std::mutex with a capability annotation.
+class ATM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ATM_ACQUIRE() { m_.lock(); }
+  void unlock() ATM_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() ATM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The wrapped handle — for CondVar only; never lock it directly.
+  [[nodiscard]] std::mutex& native() noexcept { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped exclusive lock on a Mutex (the std::lock_guard shape).
+class ATM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) ATM_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() ATM_RELEASE() { m_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Condition variable paired with atm::Mutex. Waits adopt the already-held
+/// native mutex and release it back untouched, so the annotation-visible
+/// lock state (caller holds `m` across the call) matches reality and the
+/// wrapper adds no lock/unlock beyond std::condition_variable's own.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& m) ATM_REQUIRES(m) {
+    std::unique_lock<std::mutex> l(m.native(), std::adopt_lock);
+    cv_.wait(l);
+    l.release();
+  }
+
+  template <class Pred>
+  void wait(Mutex& m, Pred pred) ATM_REQUIRES(m) {
+    std::unique_lock<std::mutex> l(m.native(), std::adopt_lock);
+    cv_.wait(l, std::move(pred));
+    l.release();
+  }
+
+  template <class Rep, class Period, class Pred>
+  bool wait_for(Mutex& m, const std::chrono::duration<Rep, Period>& d,
+                Pred pred) ATM_REQUIRES(m) {
+    std::unique_lock<std::mutex> l(m.native(), std::adopt_lock);
+    const bool r = cv_.wait_for(l, d, std::move(pred));
+    l.release();
+    return r;
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(Mutex& m,
+                            const std::chrono::time_point<Clock, Duration>& t)
+      ATM_REQUIRES(m) {
+    std::unique_lock<std::mutex> l(m.native(), std::adopt_lock);
+    const std::cv_status r = cv_.wait_until(l, t);
+    l.release();
+    return r;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// std::shared_mutex with capability annotations (reader/writer).
+class ATM_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ATM_ACQUIRE() { m_.lock(); }
+  void unlock() ATM_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() ATM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  void lock_shared() ATM_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() ATM_RELEASE_SHARED() { m_.unlock_shared(); }
+  [[nodiscard]] bool try_lock_shared() ATM_TRY_ACQUIRE_SHARED(true) {
+    return m_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// Scoped exclusive (writer) lock on a SharedMutex.
+class ATM_SCOPED_CAPABILITY SharedWriteLock {
+ public:
+  explicit SharedWriteLock(SharedMutex& m) ATM_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~SharedWriteLock() ATM_RELEASE() { m_.unlock(); }
+  SharedWriteLock(const SharedWriteLock&) = delete;
+  SharedWriteLock& operator=(const SharedWriteLock&) = delete;
+
+ private:
+  SharedMutex& m_;
+};
+
+/// Scoped shared (reader) lock on a SharedMutex.
+class ATM_SCOPED_CAPABILITY SharedReadLock {
+ public:
+  explicit SharedReadLock(SharedMutex& m) ATM_ACQUIRE_SHARED(m) : m_(m) {
+    m_.lock_shared();
+  }
+  ~SharedReadLock() ATM_RELEASE_GENERIC() { m_.unlock_shared(); }
+  SharedReadLock(const SharedReadLock&) = delete;
+  SharedReadLock& operator=(const SharedReadLock&) = delete;
+
+ private:
+  SharedMutex& m_;
+};
+
+}  // namespace atm

@@ -8,18 +8,18 @@
 // Writer-preference: a writer parks its intent bit first, which blocks new
 // readers, then waits for in-flight readers to drain — inserts cannot be
 // starved by a read storm. Spins yield after a bounded burst so
-// oversubscribed hosts (CI containers) stay live. Satisfies SharedLockable /
-// Lockable, so std::shared_lock / std::unique_lock / std::lock_guard work.
+// oversubscribed hosts (CI containers) stay live.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
 #include "common/spin_lock.hpp"
+#include "common/thread_safety.hpp"
 
 namespace atm {
 
-class SharedSpinMutex {
+class ATM_CAPABILITY("shared_mutex") SharedSpinMutex {
   static constexpr std::uint32_t kWriter = 1u << 31;
 
  public:
@@ -27,12 +27,15 @@ class SharedSpinMutex {
   SharedSpinMutex(const SharedSpinMutex&) = delete;
   SharedSpinMutex& operator=(const SharedSpinMutex&) = delete;
 
-  void lock() noexcept {
+  void lock() noexcept ATM_ACQUIRE() {
     // Phase 1: claim the writer bit (mutual exclusion among writers).
     int spins = 0;
     for (;;) {
+      // mo: relaxed pre-read — the CAS below re-validates with acquire.
       std::uint32_t state = state_.load(std::memory_order_relaxed);
       if ((state & kWriter) == 0 &&
+          // mo: acquire on success pairs with the releasing unlock;
+          // relaxed on failure (the retry loop re-reads).
           state_.compare_exchange_weak(state, state | kWriter,
                                        std::memory_order_acquire,
                                        std::memory_order_relaxed)) {
@@ -43,47 +46,93 @@ class SharedSpinMutex {
     // Phase 2: wait for in-flight readers to drain (new ones bounce off the
     // writer bit).
     spins = 0;
+    // mo: acquire so the last reader's release (fetch_sub) happens-before
+    // the writer's critical section.
     while ((state_.load(std::memory_order_acquire) & ~kWriter) != 0) {
       spin_backoff(spins);
     }
   }
 
-  [[nodiscard]] bool try_lock() noexcept {
+  [[nodiscard]] bool try_lock() noexcept ATM_TRY_ACQUIRE(true) {
     std::uint32_t expected = 0;
+    // mo: acquire on success pairs with the releasing unlock; relaxed on
+    // failure (nothing was acquired).
     return state_.compare_exchange_strong(expected, kWriter,
                                           std::memory_order_acquire,
                                           std::memory_order_relaxed);
   }
 
-  void unlock() noexcept {
+  void unlock() noexcept ATM_RELEASE() {
+    // mo: release publishes the writer's critical section to the next
+    // acquirer (reader or writer).
     state_.fetch_and(~kWriter, std::memory_order_release);
   }
 
-  void lock_shared() noexcept {
+  void lock_shared() noexcept ATM_ACQUIRE_SHARED() {
     int spins = 0;
     for (;;) {
+      // mo: acquire pairs with the writer's releasing unlock so readers see
+      // its completed writes.
       const std::uint32_t state =
           state_.fetch_add(1, std::memory_order_acquire);
       if ((state & kWriter) == 0) return;
       // A writer holds (or is draining toward) the lock: back out and wait.
+      // mo: relaxed — backing out a provisional reader ticket publishes
+      // nothing.
       state_.fetch_sub(1, std::memory_order_relaxed);
+      // mo: relaxed wait probe; the retry fetch_add re-synchronizes.
       while (state_.load(std::memory_order_relaxed) & kWriter) spin_backoff(spins);
     }
   }
 
-  [[nodiscard]] bool try_lock_shared() noexcept {
+  [[nodiscard]] bool try_lock_shared() noexcept ATM_TRY_ACQUIRE_SHARED(true) {
+    // mo: acquire pairs with the writer's releasing unlock (success path).
     const std::uint32_t state = state_.fetch_add(1, std::memory_order_acquire);
     if ((state & kWriter) == 0) return true;
+    // mo: relaxed — backing out a provisional reader ticket publishes
+    // nothing.
     state_.fetch_sub(1, std::memory_order_relaxed);
     return false;
   }
 
-  void unlock_shared() noexcept {
+  void unlock_shared() noexcept ATM_RELEASE_SHARED() {
+    // mo: release so a draining writer's acquire loop observes this reader's
+    // reads as complete.
     state_.fetch_sub(1, std::memory_order_release);
   }
 
  private:
   std::atomic<std::uint32_t> state_{0};
+};
+
+/// Scoped exclusive (writer) lock on a SharedSpinMutex.
+class ATM_SCOPED_CAPABILITY SharedSpinWriteLock {
+ public:
+  explicit SharedSpinWriteLock(SharedSpinMutex& m) noexcept ATM_ACQUIRE(m)
+      : m_(m) {
+    m_.lock();
+  }
+  ~SharedSpinWriteLock() ATM_RELEASE() { m_.unlock(); }
+  SharedSpinWriteLock(const SharedSpinWriteLock&) = delete;
+  SharedSpinWriteLock& operator=(const SharedSpinWriteLock&) = delete;
+
+ private:
+  SharedSpinMutex& m_;
+};
+
+/// Scoped shared (reader) lock on a SharedSpinMutex.
+class ATM_SCOPED_CAPABILITY SharedSpinReadLock {
+ public:
+  explicit SharedSpinReadLock(SharedSpinMutex& m) noexcept ATM_ACQUIRE_SHARED(m)
+      : m_(m) {
+    m_.lock_shared();
+  }
+  ~SharedSpinReadLock() ATM_RELEASE_GENERIC() { m_.unlock_shared(); }
+  SharedSpinReadLock(const SharedSpinReadLock&) = delete;
+  SharedSpinReadLock& operator=(const SharedSpinReadLock&) = delete;
+
+ private:
+  SharedSpinMutex& m_;
 };
 
 }  // namespace atm

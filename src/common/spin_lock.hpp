@@ -8,6 +8,8 @@
 #include <atomic>
 #include <thread>
 
+#include "common/thread_safety.hpp"
+
 namespace atm {
 
 /// Shared bounded-spin backoff: yield after 64 fruitless probes. The single
@@ -20,24 +22,46 @@ inline void spin_backoff(int& spins) noexcept {
   }
 }
 
-class SpinLock {
+class ATM_CAPABILITY("mutex") SpinLock {
  public:
   SpinLock() noexcept = default;
   SpinLock(const SpinLock&) noexcept {}
   SpinLock& operator=(const SpinLock&) noexcept { return *this; }
 
-  void lock() noexcept {
+  void lock() noexcept ATM_ACQUIRE() {
     int spins = 0;
+    // mo: acquire on the winning exchange orders the critical section after
+    // the previous holder's release store.
     while (locked_.exchange(true, std::memory_order_acquire)) {
       do {
         spin_backoff(spins);
+        // mo: relaxed — the wait probe carries no data; the next exchange
+        // re-synchronizes.
       } while (locked_.load(std::memory_order_relaxed));
     }
   }
-  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+  void unlock() noexcept ATM_RELEASE() {
+    // mo: release publishes every write of the critical section to the next
+    // acquirer.
+    locked_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> locked_{false};
+};
+
+/// Scoped exclusive lock on a SpinLock (the std::lock_guard shape).
+class ATM_SCOPED_CAPABILITY SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& m) noexcept ATM_ACQUIRE(m) : m_(m) {
+    m_.lock();
+  }
+  ~SpinLockGuard() ATM_RELEASE() { m_.unlock(); }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& m_;
 };
 
 }  // namespace atm

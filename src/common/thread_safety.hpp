@@ -1,0 +1,70 @@
+// Clang Thread Safety Analysis attribute macros (ATM_ prefix, no-ops on
+// compilers without the attributes — GCC builds see empty expansions).
+//
+// The analysis is purely static: annotations add zero code and zero data.
+// The `static-analysis` CI job builds the tree with
+// `clang++ -Werror=thread-safety` so a violated lock protocol fails the
+// build; see docs/STATIC_ANALYSIS.md for the conventions.
+//
+// Vocabulary (the usual capability model):
+//  * ATM_CAPABILITY("mutex")      — the class IS a lock.
+//  * ATM_SCOPED_CAPABILITY        — RAII guard: ctor acquires, dtor releases.
+//  * ATM_GUARDED_BY(m)            — field may only be touched with m held.
+//  * ATM_PT_GUARDED_BY(m)         — pointee may only be touched with m held.
+//  * ATM_ACQUIRE/RELEASE(...)     — function takes/drops the capability.
+//  * ATM_ACQUIRE_SHARED/RELEASE_SHARED — reader side of an rwlock.
+//  * ATM_TRY_ACQUIRE(b, ...)      — acquires iff the return value equals b.
+//  * ATM_REQUIRES(m)              — caller must already hold m (exclusive).
+//  * ATM_REQUIRES_SHARED(m)       — caller must hold m at least shared.
+//  * ATM_EXCLUDES(m)              — caller must NOT hold m (deadlock guard).
+//  * ATM_ASSERT_CAPABILITY(m)     — runtime-checked claim the analysis trusts.
+//  * ATM_RETURN_CAPABILITY(m)     — accessor returns a reference to lock m.
+//  * ATM_NO_THREAD_SAFETY_ANALYSIS — opt a function out (dynamic lock sets:
+//    the dependence tracker's footprint-mask paths acquire a data-dependent
+//    set of shard locks the static analysis cannot name).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ATM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#if !defined(ATM_THREAD_ANNOTATION)
+#define ATM_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+#define ATM_CAPABILITY(x) ATM_THREAD_ANNOTATION(capability(x))
+#define ATM_SCOPED_CAPABILITY ATM_THREAD_ANNOTATION(scoped_lockable)
+
+#define ATM_GUARDED_BY(x) ATM_THREAD_ANNOTATION(guarded_by(x))
+#define ATM_PT_GUARDED_BY(x) ATM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ATM_ACQUIRE(...) ATM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ATM_ACQUIRE_SHARED(...) \
+  ATM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define ATM_RELEASE(...) ATM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ATM_RELEASE_SHARED(...) \
+  ATM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define ATM_RELEASE_GENERIC(...) \
+  ATM_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define ATM_TRY_ACQUIRE(...) \
+  ATM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define ATM_TRY_ACQUIRE_SHARED(...) \
+  ATM_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define ATM_REQUIRES(...) ATM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ATM_REQUIRES_SHARED(...) \
+  ATM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ATM_EXCLUDES(...) ATM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ATM_ASSERT_CAPABILITY(x) ATM_THREAD_ANNOTATION(assert_capability(x))
+#define ATM_ASSERT_SHARED_CAPABILITY(x) \
+  ATM_THREAD_ANNOTATION(assert_shared_capability(x))
+
+#define ATM_RETURN_CAPABILITY(x) ATM_THREAD_ANNOTATION(lock_returned(x))
+
+#define ATM_NO_THREAD_SAFETY_ANALYSIS \
+  ATM_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -52,10 +52,13 @@ double bucket_quantile(const std::uint64_t (&counts)[LatencyHistogram::kBuckets]
 LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
   std::uint64_t counts[kBuckets] = {};
   Snapshot s;
+  // mo: relaxed — snapshot sums racily by contract (record() publishes no
+  // payload through these cells).
   for (const Shard& shard : shards_) {
     for (std::size_t i = 0; i < kBuckets; ++i) {
       counts[i] += shard.count[i].load(std::memory_order_relaxed);
     }
+    // mo: relaxed — same racy-snapshot contract as the bucket counts.
     s.sum += shard.sum.load(std::memory_order_relaxed);
     s.max = std::max(s.max, shard.max.load(std::memory_order_relaxed));
   }
@@ -192,7 +195,7 @@ MetricsRegistry::Entry* MetricsRegistry::find_locked(std::string_view name) {
 
 Counter* MetricsRegistry::counter(std::string name, std::string unit,
                                   std::string owner) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (Entry* e = find_locked(name)) {
     return e->kind == MetricKind::Counter ? e->c.get() : nullptr;
   }
@@ -209,7 +212,7 @@ Counter* MetricsRegistry::counter(std::string name, std::string unit,
 
 Gauge* MetricsRegistry::gauge(std::string name, std::string unit,
                               std::string owner) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (Entry* e = find_locked(name)) {
     return e->kind == MetricKind::Gauge ? e->g.get() : nullptr;
   }
@@ -226,7 +229,7 @@ Gauge* MetricsRegistry::gauge(std::string name, std::string unit,
 
 LatencyHistogram* MetricsRegistry::histogram(std::string name, std::string unit,
                                              std::string owner) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (Entry* e = find_locked(name)) {
     return e->kind == MetricKind::Histogram ? e->h.get() : nullptr;
   }
@@ -242,20 +245,20 @@ LatencyHistogram* MetricsRegistry::histogram(std::string name, std::string unit,
 }
 
 std::size_t MetricsRegistry::add_collector(std::function<void(SampleSink&)> fn) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   collectors_.push_back(std::move(fn));
   return collectors_.size() - 1;
 }
 
 void MetricsRegistry::remove_collector(std::size_t id) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (id < collectors_.size()) collectors_[id] = nullptr;
 }
 
 RegistrySnapshot MetricsRegistry::snapshot() const {
   RegistrySnapshot snap;
   snap.t_ns = steady_now_ns();
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   snap.metrics.reserve(entries_.size() + collectors_.size() * 8);
   for (const auto& e : entries_) {
     MetricSample m;
@@ -288,7 +291,7 @@ RegistrySnapshot MetricsRegistry::snapshot() const {
 }
 
 std::size_t MetricsRegistry::metric_count() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 

@@ -30,10 +30,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace atm::obs {
 
@@ -51,6 +52,8 @@ inline constexpr std::size_t kObsShards = 16;
 /// The calling thread's shard slot: assigned once per thread, round-robin.
 [[nodiscard]] inline std::size_t this_thread_shard() noexcept {
   static std::atomic<std::size_t> next{0};
+  // mo: relaxed — round-robin ticket; only uniqueness-ish matters, and even
+  // duplicate slots merely share a cache line.
   thread_local const std::size_t shard =
       next.fetch_add(1, std::memory_order_relaxed) & (kObsShards - 1);
   return shard;
@@ -76,12 +79,14 @@ class Counter {
       (void)n;
       return;
     }
+    // mo: relaxed — monotonic statistic; value() is racy by contract.
     cells_[this_thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
   }
 
   /// Sum across shards (racy; monitoring only).
   [[nodiscard]] std::uint64_t value() const noexcept {
     std::uint64_t sum = 0;
+    // mo: relaxed — racy monitoring sum by contract.
     for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
     return sum;
   }
@@ -97,13 +102,17 @@ class Counter {
 /// depths, resident bytes), so a single atomic cell suffices.
 class Gauge {
  public:
+  // mo: relaxed throughout — a gauge is a standalone sampled value; readers
+  // never infer other memory state from it.
   void set(std::int64_t v) noexcept {
     if constexpr (kObsEnabled) v_.store(v, std::memory_order_relaxed);
   }
   void add(std::int64_t d) noexcept {
+    // mo: relaxed — standalone sampled value (see class comment).
     if constexpr (kObsEnabled) v_.fetch_add(d, std::memory_order_relaxed);
   }
   [[nodiscard]] std::int64_t value() const noexcept {
+    // mo: relaxed — racy monitoring read by contract.
     return v_.load(std::memory_order_relaxed);
   }
 
@@ -125,9 +134,11 @@ class LatencyHistogram {
       return;
     }
     Shard& s = shards_[this_thread_shard()];
+    // mo: relaxed — sharded statistics; snapshot() sums racily by contract.
     s.count[bucket_of(x)].fetch_add(1, std::memory_order_relaxed);
     s.sum.fetch_add(x, std::memory_order_relaxed);
     std::uint64_t cur = s.max.load(std::memory_order_relaxed);
+    // mo: relaxed — max is a monotonic watermark; no payload published.
     while (x > cur &&
            !s.max.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
     }
@@ -235,11 +246,11 @@ class MetricsRegistry {
     std::unique_ptr<LatencyHistogram> h;
   };
 
-  Entry* find_locked(std::string_view name);
+  Entry* find_locked(std::string_view name) ATM_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Entry>> entries_;
-  std::vector<std::function<void(SampleSink&)>> collectors_;
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_ ATM_GUARDED_BY(mutex_);
+  std::vector<std::function<void(SampleSink&)>> collectors_ ATM_GUARDED_BY(mutex_);
 };
 
 /// Append a JSON-escaped string literal (quotes included) to `out`.

@@ -84,26 +84,29 @@ MetricsSampler::~MetricsSampler() { stop(); }
 
 void MetricsSampler::stop() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopped_) return;
     stopping_ = true;
   }
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
   take_sample();  // final snapshot: short runs still get >= 1 sample
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   stopped_ = true;
 }
 
 void MetricsSampler::run() {
-  std::unique_lock lock(mutex_);
-  while (!stopping_) {
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::milliseconds(opts_.interval_ms);
-    if (cv_.wait_until(lock, deadline, [this] { return stopping_; })) break;
-    lock.unlock();
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(opts_.interval_ms);
+      while (!stopping_) {
+        if (cv_.wait_until(mutex_, deadline) == std::cv_status::timeout) break;
+      }
+      if (stopping_) return;
+    }
     take_sample();
-    lock.lock();
   }
 }
 
@@ -124,7 +127,7 @@ void MetricsSampler::take_sample() {
     }
     std::fprintf(stderr, "%s\n", line.c_str());
   }
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (ring_.size() < opts_.ring_capacity) {
     ring_.push_back(std::move(snap));
   } else {
@@ -136,7 +139,7 @@ void MetricsSampler::take_sample() {
 }
 
 MetricsSampler::Series MetricsSampler::series() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   Series s;
   s.interval_ms = opts_.interval_ms;
   s.dropped = dropped_;

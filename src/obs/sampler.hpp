@@ -5,13 +5,12 @@
 // will expose (ROADMAP item 4).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "obs/metrics.hpp"
 
 namespace atm::obs {
@@ -58,14 +57,15 @@ class MetricsSampler {
   const MetricsRegistry& registry_;
   Options opts_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
-  bool stopped_ = false;
-  std::vector<RegistrySnapshot> ring_;
-  std::size_t ring_head_ = 0;  ///< index of oldest sample once wrapped
-  bool wrapped_ = false;
-  std::uint64_t dropped_ = 0;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  bool stopping_ ATM_GUARDED_BY(mutex_) = false;
+  bool stopped_ ATM_GUARDED_BY(mutex_) = false;
+  std::vector<RegistrySnapshot> ring_ ATM_GUARDED_BY(mutex_);
+  /// Index of oldest sample once wrapped.
+  std::size_t ring_head_ ATM_GUARDED_BY(mutex_) = 0;
+  bool wrapped_ ATM_GUARDED_BY(mutex_) = false;
+  std::uint64_t dropped_ ATM_GUARDED_BY(mutex_) = 0;
 
   std::thread thread_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/spin_lock.hpp"
 #include "runtime/task_arena.hpp"
 
 namespace atm::rt {
@@ -268,12 +269,13 @@ void DependencyTracker::reset_task_refs() noexcept {
 std::size_t DependencyTracker::prune_finished() noexcept {
   ++stats_.prune_scans;
   if (!log_.empty()) merge_log();
-  // Acquire-loads pair with the release Finished store in complete_task:
+  // mo: acquire — pairs with the release Finished store in complete_task:
   // erasing a segment deletes the dependence edge a future task would have
   // taken, so the pruning thread must inherit the finished task's body
   // writes here — the succ_lock seal handshake that normally provides the
   // ordering is bypassed once the segment is gone.
   const auto finished = [](Task* t) {
+    // mo: acquire — see above.
     return t->state.load(std::memory_order_acquire) == TaskState::Finished;
   };
   for (auto it = segments_.begin(); it != segments_.end();) {
@@ -374,7 +376,7 @@ void ShardedDependencyTracker::reset_after_barrier() noexcept {
   // any iterative app's steady footprint and far below streaming peaks.
   constexpr std::size_t kRetainMax = std::size_t{1} << 15;
   for (std::size_t i = 0; i < shard_count_; ++i) {
-    std::lock_guard<TaskSpinLock> lock(shards_[i].mutex);
+    SpinLockGuard lock(shards_[i].mutex);
     if (shards_[i].tracker.segment_count() > kRetainMax) {
       shards_[i].tracker.clear();
       shards_[i].prune_floor = 0;
@@ -393,7 +395,7 @@ void ShardedDependencyTracker::reset_after_barrier() noexcept {
 
 void ShardedDependencyTracker::clear() noexcept {
   for (std::size_t i = 0; i < shard_count_; ++i) {
-    std::lock_guard<TaskSpinLock> lock(shards_[i].mutex);
+    SpinLockGuard lock(shards_[i].mutex);
     shards_[i].tracker.clear();
     shards_[i].prune_floor = 0;
   }
@@ -402,7 +404,7 @@ void ShardedDependencyTracker::clear() noexcept {
 std::size_t ShardedDependencyTracker::segment_count() const {
   std::size_t n = 0;
   for (std::size_t i = 0; i < shard_count_; ++i) {
-    std::lock_guard<TaskSpinLock> lock(shards_[i].mutex);
+    SpinLockGuard lock(shards_[i].mutex);
     n += shards_[i].tracker.segment_count();
   }
   return n;
@@ -411,7 +413,7 @@ std::size_t ShardedDependencyTracker::segment_count() const {
 DepIndexStats ShardedDependencyTracker::stats() const {
   DepIndexStats total;
   for (std::size_t i = 0; i < shard_count_; ++i) {
-    std::lock_guard<TaskSpinLock> lock(shards_[i].mutex);
+    SpinLockGuard lock(shards_[i].mutex);
     total += shards_[i].tracker.stats();
   }
   return total;

@@ -41,9 +41,9 @@
 #include <map>
 #include <memory>
 #include <memory_resource>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "runtime/task.hpp"
 #include "runtime/task_arena.hpp"
 
@@ -212,8 +212,13 @@ class ShardedDependencyTracker {
   /// Register `task`, then call `visit(dep)` for every distinct predecessor
   /// while the footprint's shard locks are still held (the locks pin the
   /// segment references, so dep pointers are safe to link during the visit).
+  /// Thread-safety analysis is off here: the slow path acquires a
+  /// data-dependent set of shard locks through lock_mask(footprint), which
+  /// the static analysis cannot name (the fast path's single lock/unlock
+  /// pair is visible but shares the function). The protocol itself —
+  /// ascending-index two-phase locking — is documented at lock_mask.
   template <typename DepVisitor>
-  void register_task(Task& task, DepVisitor&& visit) {
+  void register_task(Task& task, DepVisitor&& visit) ATM_NO_THREAD_SAFETY_ANALYSIS {
     thread_local std::vector<Task*> deps;
     deps.clear();
     // Fast path: one access inside one granule (the dominant task shape in
@@ -278,10 +283,10 @@ class ShardedDependencyTracker {
     /// operations and submissions rarely collide on a shard; TaskSpinLock
     /// yields after a bounded burst, so oversubscribed hosts stay live.
     TaskSpinLock mutex;
-    DependencyTracker tracker;
+    DependencyTracker tracker ATM_GUARDED_BY(mutex);
     /// Segment count after the last prune; the next prune triggers once the
     /// map doubles past it (amortized O(1) per registration).
-    std::size_t prune_floor = 0;
+    std::size_t prune_floor ATM_GUARDED_BY(mutex) = 0;
   };
 
   [[nodiscard]] std::size_t shard_index(std::uintptr_t addr) const noexcept {
@@ -292,10 +297,12 @@ class ShardedDependencyTracker {
   }
 
   [[nodiscard]] std::uint64_t footprint_mask(const Task& task) const noexcept;
-  void lock_mask(std::uint64_t mask) noexcept;
-  void unlock_mask(std::uint64_t mask) noexcept;
-  void maybe_prune_locked(std::uint64_t mask) noexcept;
-  static void maybe_prune_shard(Shard& shard) noexcept;
+  /// Dynamic lock set (one lock per set bit, ascending index): opted out of
+  /// the static analysis, which cannot express mask-driven acquisition.
+  void lock_mask(std::uint64_t mask) noexcept ATM_NO_THREAD_SAFETY_ANALYSIS;
+  void unlock_mask(std::uint64_t mask) noexcept ATM_NO_THREAD_SAFETY_ANALYSIS;
+  void maybe_prune_locked(std::uint64_t mask) noexcept ATM_NO_THREAD_SAFETY_ANALYSIS;
+  static void maybe_prune_shard(Shard& shard) noexcept ATM_REQUIRES(shard.mutex);
 
   unsigned log2_shards_;
   unsigned region_shift_;

@@ -10,10 +10,20 @@ void ReadyQueue::sample_locked(std::size_t depth) {
   }
 }
 
+Task* ReadyQueue::pop_front_locked() {
+  Task* task = queue_.front();
+  queue_.pop_front();
+  // mo: relaxed — depth_ is a monitoring mirror; mutex_ orders the queue.
+  depth_.store(queue_.size(), std::memory_order_relaxed);
+  sample_locked(queue_.size());
+  return task;
+}
+
 void ReadyQueue::push(Task* task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(task);
+    // mo: relaxed — depth_ is a monitoring mirror; mutex_ orders the queue.
     depth_.store(queue_.size(), std::memory_order_relaxed);
     sample_locked(queue_.size());
   }
@@ -21,54 +31,42 @@ void ReadyQueue::push(Task* task) {
 }
 
 Task* ReadyQueue::pop_blocking() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+  MutexLock lock(mutex_);
+  while (!shutdown_ && queue_.empty()) cv_.wait(mutex_);
   if (queue_.empty()) return nullptr;
-  Task* task = queue_.front();
-  queue_.pop_front();
-  depth_.store(queue_.size(), std::memory_order_relaxed);
-  sample_locked(queue_.size());
-  return task;
+  return pop_front_locked();
 }
 
 Task* ReadyQueue::pop_for_helper(const std::function<bool()>& quit) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return shutdown_ || !queue_.empty() || quit(); });
+  MutexLock lock(mutex_);
+  while (!shutdown_ && queue_.empty() && !quit()) cv_.wait(mutex_);
   if (queue_.empty()) return nullptr;
-  Task* task = queue_.front();
-  queue_.pop_front();
-  depth_.store(queue_.size(), std::memory_order_relaxed);
-  sample_locked(queue_.size());
-  return task;
+  return pop_front_locked();
 }
 
 void ReadyQueue::notify_all() {
   // Empty critical section: orders the notify against a waiter that passed
   // its predicate check but has not yet suspended.
-  { std::lock_guard<std::mutex> lock(mutex_); }
+  { MutexLock lock(mutex_); }
   cv_.notify_all();
 }
 
 Task* ReadyQueue::try_pop() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (queue_.empty()) return nullptr;
-  Task* task = queue_.front();
-  queue_.pop_front();
-  depth_.store(queue_.size(), std::memory_order_relaxed);
-  sample_locked(queue_.size());
-  return task;
+  return pop_front_locked();
 }
 
 void ReadyQueue::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
   cv_.notify_all();
 }
 
 void ReadyQueue::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   shutdown_ = false;
 }
 

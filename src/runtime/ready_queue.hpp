@@ -4,12 +4,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 
+#include "common/mutex.hpp"
 #include "runtime/task.hpp"
 #include "runtime/trace.hpp"
 
@@ -45,17 +44,20 @@ class ReadyQueue {
   void reset();
 
   [[nodiscard]] std::size_t depth() const noexcept {
+    // mo: relaxed — monitoring gauge; mutex_ orders the queue itself.
     return depth_.load(std::memory_order_relaxed);
   }
 
  private:
-  void sample_locked(std::size_t depth);
+  void sample_locked(std::size_t depth) ATM_REQUIRES(mutex_);
+  Task* pop_front_locked() ATM_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Task*> queue_;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<Task*> queue_ ATM_GUARDED_BY(mutex_);
+  /// Mirror of queue_.size() readable without the lock (monitoring only).
   std::atomic<std::size_t> depth_{0};
-  bool shutdown_ = false;
+  bool shutdown_ ATM_GUARDED_BY(mutex_) = false;
   TraceRecorder* tracer_;
 };
 

@@ -30,7 +30,10 @@ Runtime::Runtime(RuntimeConfig config)
       tracer_(std::make_unique<TraceRecorder>(num_threads_ + 1, config.enable_tracing)),
       sched_(Scheduler::make(config.sched, num_threads_, tracer_.get())),
       arena_(config.arena_block_tasks),
-      tracker_(config.graph_log2_shards) {
+      tracker_(config.graph_log2_shards),
+      profile_max_types_(config.profile_max_types),
+      exec_hist_(std::make_unique<std::atomic<obs::LatencyHistogram*>[]>(
+          config.profile_max_types)) {
   help_sessions_ = metrics_.counter("sched.help_sessions", "sessions", "runtime");
   help_tasks_ = metrics_.counter("sched.help_tasks", "tasks", "runtime");
   if (config.metrics) register_collectors();
@@ -38,6 +41,7 @@ Runtime::Runtime(RuntimeConfig config)
   for (unsigned w = 0; w < num_threads_; ++w) {
     workers_.emplace_back([this, w] { worker_main(w); });
   }
+  // mo: release publishes the fully-constructed runtime to late observers.
   started_.store(true, std::memory_order_release);
   if (config.metrics_interval_ms > 0) {
     obs::MetricsSampler::Options opts;
@@ -71,6 +75,7 @@ void Runtime::register_collectors() {
     sink.counter("runtime.tasks_executed", c.executed, "tasks", "runtime");
     sink.counter("runtime.tasks_memoized", c.memoized, "tasks", "runtime");
     sink.counter("runtime.tasks_deferred", c.deferred, "tasks", "runtime");
+    // mo: relaxed — racy monitoring gauge.
     sink.gauge("runtime.pending_tasks",
                static_cast<std::int64_t>(pending_tasks_.load(std::memory_order_relaxed)),
                "tasks", "runtime");
@@ -112,11 +117,13 @@ obs::MetricsSampler::Series Runtime::metrics_series() {
 }
 
 const TaskType* Runtime::register_type(TaskTypeDesc desc) {
-  std::lock_guard<std::mutex> lock(types_mutex_);
+  MutexLock lock(types_mutex_);
   const auto id = static_cast<std::uint32_t>(types_.size());
   types_.push_back(std::make_unique<TaskType>(id, std::move(desc)));
   const TaskType* type = types_.back().get();
-  if (profile_tasks_ && id < kMaxProfiledTypes) {
+  if (profile_tasks_ && id < profile_max_types_) {
+    // mo: release pairs with process_task's acquire load so a worker seeing
+    // the pointer sees a fully-registered histogram.
     exec_hist_[id].store(
         metrics_.histogram("task." + std::string(type->name()) + ".exec_ns",
                            "ns", "profile"),
@@ -126,7 +133,7 @@ const TaskType* Runtime::register_type(TaskTypeDesc desc) {
 }
 
 std::size_t Runtime::type_count() const {
-  std::lock_guard<std::mutex> lock(types_mutex_);
+  MutexLock lock(types_mutex_);
   return types_.size();
 }
 
@@ -149,16 +156,20 @@ void Runtime::submit(const TaskType* type, std::function<void()> fn,
   task->accesses.assign(accesses.begin(), accesses.end());
   // The submitted counter doubles as the id allocator (ids are dense in
   // submission order, as before — one atomic instead of two).
+  // mo: relaxed — only uniqueness matters for id allocation.
   task->id = counters_.submitted.fetch_add(1, std::memory_order_relaxed);
 
   // Count the task pending before it can possibly complete; the final
   // decrement in complete_task() is what wakes taskwait().
+  // mo: relaxed — the increment precedes any completion of this task in
+  // program order; the final acq_rel decrement carries the ordering.
   pending_tasks_.fetch_add(1, std::memory_order_relaxed);
 
   // Submission guard: holds the ready transition until every predecessor is
   // linked, so a predecessor finishing mid-registration cannot double-push.
   // The guard is set before the first link becomes visible; when no link was
   // made, no other thread can touch the count and the task pushes directly.
+  // mo: relaxed — the task is not yet visible to any other thread.
   task->pending_preds.store(1, std::memory_order_relaxed);
   std::uint32_t links = 0;
   const std::size_t lane = current_lane();
@@ -170,6 +181,8 @@ void Runtime::submit(const TaskType* type, std::function<void()> fn,
       dep->succ_lock.lock();
       if (!dep->succ_sealed) {
         dep->successors.push_back(task);
+        // mo: relaxed — the submission guard (+1) is still held, so the
+        // count cannot reach zero; succ_lock orders the link itself.
         task->pending_preds.fetch_add(1, std::memory_order_relaxed);
         ++links;
       }
@@ -177,9 +190,14 @@ void Runtime::submit(const TaskType* type, std::function<void()> fn,
     });
   }
   if (links == 0) {
+    // mo: relaxed — no predecessor ever saw this task; the scheduler push
+    // publishes it.
     task->pending_preds.store(0, std::memory_order_relaxed);
     task->state = TaskState::Ready;
     sched_->push(task, tls_push_lane());
+    // mo: acq_rel — dropping the submission guard: release orders the links
+    // above, acquire (on the winning decrement) orders the predecessors'
+    // completions before the push.
   } else if (task->pending_preds.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     task->state = TaskState::Ready;
     sched_->push(task, tls_push_lane());
@@ -187,18 +205,24 @@ void Runtime::submit(const TaskType* type, std::function<void()> fn,
 }
 
 void Runtime::taskwait() {
+  // mo: acquire pairs with complete_task's final acq_rel decrement.
   if (pending_tasks_.load(std::memory_order_acquire) != 0) {
     // Helping barrier: claim the scheduler's single helper slot and drain/
     // steal tasks instead of parking. A second concurrent caller (or a
     // runtime configured with --taskwait=park) falls back to the condvar.
+    // mo: acq_rel — winning the exchange orders this claim against the
+    // previous helper's release store below.
     if (help_taskwait_ && !helper_active_.exchange(true, std::memory_order_acq_rel)) {
       help_until_done();
+      // mo: release hands the helper slot to the next acq_rel exchange.
       helper_active_.store(false, std::memory_order_release);
     } else {
-      std::unique_lock<std::mutex> lock(wait_mutex_);
-      all_done_cv_.wait(lock, [&] {
-        return pending_tasks_.load(std::memory_order_acquire) == 0;
-      });
+      MutexLock lock(wait_mutex_);
+      // mo: acquire pairs with complete_task's final acq_rel decrement so
+      // the woken waiter observes every completed task's writes.
+      while (pending_tasks_.load(std::memory_order_acquire) != 0) {
+        all_done_cv_.wait(wait_mutex_);
+      }
     }
   }
   // Barrier semantics: every submitted task finished; future tasks can only
@@ -213,7 +237,9 @@ void Runtime::taskwait() {
   // serializes the check-and-reset so a second concurrent caller both
   // avoids a data race on the watermark and returns only after a completed
   // reset (it observes the winner's watermark and skips).
-  std::lock_guard<std::mutex> lock(wait_mutex_);
+  MutexLock lock(wait_mutex_);
+  // mo: relaxed — every submission happened-before this barrier by the
+  // taskwait contract; the counter read needs no extra ordering.
   const std::uint64_t submitted = counters_.submitted.load(std::memory_order_relaxed);
   if (submitted != last_reset_submitted_) {
     tracker_.reset_after_barrier();
@@ -229,6 +255,7 @@ void Runtime::help_until_done() {
   const std::ptrdiff_t prev_lane = tls_lane;
   tls_lane = static_cast<std::ptrdiff_t>(num_threads_);
   const auto quit = [this] {
+    // mo: acquire pairs with complete_task's final acq_rel decrement.
     return pending_tasks_.load(std::memory_order_acquire) == 0;
   };
   help_sessions_->inc();
@@ -271,6 +298,7 @@ void Runtime::process_task(Task* task, std::size_t lane) {
   switch (decision) {
     case MemoizationHook::Decision::Hit: {
       task->atm_memoized = true;
+      // mo: relaxed — monotonic statistics counter.
       counters_.memoized.fetch_add(1, std::memory_order_relaxed);
       complete_task(*task);
       return;
@@ -286,7 +314,8 @@ void Runtime::process_task(Task* task, std::size_t lane) {
       // money against microtasks); the histogram pointer is an acquire-load
       // against a concurrent register_type.
       obs::LatencyHistogram* hist = nullptr;
-      if (profile_tasks_ && task->type->id() < kMaxProfiledTypes) {
+      if (profile_tasks_ && task->type->id() < profile_max_types_) {
+        // mo: acquire pairs with register_type's release store.
         hist = exec_hist_[task->type->id()].load(std::memory_order_acquire);
       }
       const std::uint64_t exec_t0 = hist != nullptr ? now_ns() : 0;
@@ -298,6 +327,7 @@ void Runtime::process_task(Task* task, std::size_t lane) {
       if (hook_ != nullptr && task->type->memoizable()) {
         hook_->on_task_executed(*task, lane);
       }
+      // mo: relaxed — monotonic statistics counter.
       counters_.executed.fetch_add(1, std::memory_order_relaxed);
       complete_task(*task);
       return;
@@ -307,6 +337,7 @@ void Runtime::process_task(Task* task, std::size_t lane) {
 
 void Runtime::complete_without_execution(Task& task, bool via_ikt) {
   task.atm_memoized = true;
+  // mo: relaxed — monotonic statistics counters.
   if (via_ikt) {
     counters_.deferred.fetch_add(1, std::memory_order_relaxed);
   } else {
@@ -329,6 +360,7 @@ void Runtime::complete_task(Task& task) {
   successors.clear();
   task.succ_lock.lock();
   task.succ_sealed = true;
+  // mo: release — see the block comment above (prune path acquire-loads it).
   task.state.store(TaskState::Finished, std::memory_order_release);
   successors.assign(task.successors.begin(), task.successors.end());
   task.successors.clear();
@@ -342,6 +374,9 @@ void Runtime::complete_task(Task& task) {
   for (Task* succ : successors) {
     // Successors still hold our +1 in pending_preds, so they are live; the
     // thread whose decrement reaches zero owns the push (exactly-once wakeup).
+    // mo: acq_rel — release orders this predecessor's body writes before the
+    // successor's release; acquire on the final decrement inherits every
+    // other predecessor's writes before the push.
     if (succ->pending_preds.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       succ->state = TaskState::Ready;
       sched_->push(succ, lane);
@@ -355,11 +390,13 @@ void Runtime::complete_task(Task& task) {
   // tracker clear, the arena is deterministically drained.
   task_release(&task);
 
+  // mo: acq_rel — release orders this task's completion before the barrier
+  // opens; acquire on the final decrement hands taskwait every completion.
   if (pending_tasks_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     {
       // The lock orders the notify against a waiter that passed its
       // predicate check but has not yet suspended.
-      std::lock_guard<std::mutex> lock(wait_mutex_);
+      MutexLock lock(wait_mutex_);
       all_done_cv_.notify_all();
     }
     // A helping master parks inside the scheduler's lot, not on the condvar
@@ -370,6 +407,7 @@ void Runtime::complete_task(Task& task) {
 
 RuntimeCounters Runtime::counters() const {
   RuntimeCounters c;
+  // mo: relaxed — racy monitoring snapshot by contract.
   c.submitted = counters_.submitted.load(std::memory_order_relaxed);
   c.executed = counters_.executed.load(std::memory_order_relaxed);
   c.memoized = counters_.memoized.load(std::memory_order_relaxed);

@@ -22,18 +22,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
-#include <array>
-
+#include "common/mutex.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "runtime/dependency_tracker.hpp"
@@ -116,6 +113,11 @@ struct RuntimeConfig {
   /// (task.<type>.exec_ns). Opt-in: costs two clock reads per executed
   /// task, which is real money against ~250ns microtasks.
   bool profile_tasks = false;
+  /// Per-type profile slots: dense type ids at or past this cap silently
+  /// skip per-type instruments (both the runtime's exec histograms and an
+  /// attached engine's hit/miss/latency profiles). One atomic pointer per
+  /// slot, sized at construction (`atm_run --profile-types=N`).
+  std::size_t profile_max_types = 256;
 };
 
 /// Monotonic counters; cheap enough to keep always-on.
@@ -240,16 +242,16 @@ class Runtime {
   TaskArena arena_;
   ShardedDependencyTracker tracker_;
   // (both sized from RuntimeConfig in the constructor)
-  /// counters_.submitted at the last barrier reset: a taskwait that saw no
-  /// submissions since then skips the (idempotent) reset walk entirely.
-  /// Guarded by wait_mutex_ (concurrent taskwait callers serialize there).
-  std::uint64_t last_reset_submitted_ = 0;
   std::atomic<std::uint64_t> pending_tasks_{0};
-  std::mutex wait_mutex_;
-  std::condition_variable all_done_cv_;
+  Mutex wait_mutex_;
+  CondVar all_done_cv_;
+  /// counters_.submitted at the last barrier reset: a taskwait that saw no
+  /// submissions since then skips the (idempotent) reset walk entirely
+  /// (concurrent taskwait callers serialize on wait_mutex_).
+  std::uint64_t last_reset_submitted_ ATM_GUARDED_BY(wait_mutex_) = 0;
 
-  mutable std::mutex types_mutex_;
-  std::vector<std::unique_ptr<TaskType>> types_;
+  mutable Mutex types_mutex_;
+  std::vector<std::unique_ptr<TaskType>> types_ ATM_GUARDED_BY(types_mutex_);
 
   struct alignas(64) AtomicCounters {
     std::atomic<std::uint64_t> submitted{0};
@@ -262,9 +264,9 @@ class Runtime {
   /// Per-type execution-latency histograms (profile_tasks only), indexed by
   /// the dense type id. Atomic pointers so process_task reads race-free
   /// against concurrent register_type calls; types past the array just skip
-  /// profiling.
-  static constexpr std::size_t kMaxProfiledTypes = 256;
-  std::array<std::atomic<obs::LatencyHistogram*>, kMaxProfiledTypes> exec_hist_{};
+  /// profiling. Sized from RuntimeConfig::profile_max_types at construction.
+  std::size_t profile_max_types_;
+  std::unique_ptr<std::atomic<obs::LatencyHistogram*>[]> exec_hist_;
 
   /// Helping-barrier span counters (sched.help_sessions / sched.help_tasks).
   obs::Counter* help_sessions_ = nullptr;

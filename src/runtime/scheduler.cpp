@@ -43,6 +43,7 @@ StealScheduler::StealScheduler(unsigned workers, TraceRecorder* tracer)
 
 void StealScheduler::note_push() {
   if (tracer_ != nullptr && tracer_->enabled()) {
+    // mo: relaxed — depth sample is monitoring only.
     tracer_->sample_depth(now_ns(), items_.load(std::memory_order_relaxed));
   }
   // seq_cst pairs with the sleeper registration in pop_blocking/helper_pop:
@@ -52,14 +53,17 @@ void StealScheduler::note_push() {
   if (sleepers_.load(std::memory_order_seq_cst) > 0) {
     // The lock orders the notify against a sleeper that passed its predicate
     // check but has not yet suspended.
-    std::lock_guard<std::mutex> lock(park_mutex_);
+    MutexLock lock(park_mutex_);
     park_cv_.notify_one();
   }
 }
 
 Task* StealScheduler::acquired(Task* task) {
+  // mo: relaxed — items_ is a conservatively-ordered gauge; the push side
+  // (seq_cst fetch_add before publish) provides the never-underflow bound.
   items_.fetch_sub(1, std::memory_order_relaxed);
   if (tracer_ != nullptr && tracer_->enabled()) {
+    // mo: relaxed — depth sample is monitoring only.
     tracer_->sample_depth(now_ns(), items_.load(std::memory_order_relaxed));
   }
   return task;
@@ -88,9 +92,13 @@ void StealScheduler::push(Task* task, std::size_t lane) {
     const std::size_t victim = inbox_mask_ != 0 ? (task->id & inbox_mask_)
                                                 : (task->id % workers_);
     WorkerSlot& slot = *slots_[victim];
+    // mo: relaxed — head is only a CAS expected value; the CAS re-validates.
     Task* head = slot.inbox_head.load(std::memory_order_relaxed);
     do {
+      // mo: relaxed — the publishing CAS below releases the link write.
       task->inbox_next.store(head, std::memory_order_relaxed);
+      // mo: release publishes task->inbox_next to the acquiring drainer;
+      // relaxed on failure (retry rereads head).
     } while (!slot.inbox_head.compare_exchange_weak(
         head, task, std::memory_order_release, std::memory_order_relaxed));
   }
@@ -99,14 +107,20 @@ void StealScheduler::push(Task* task, std::size_t lane) {
 
 Task* StealScheduler::take_inbox_chain(WorkerSlot& victim, std::size_t* n) {
   *n = 0;
+  // mo: relaxed peek — empty inboxes are skipped without a fence; the
+  // exchange below is the synchronizing read.
   if (victim.inbox_head.load(std::memory_order_relaxed) == nullptr) return nullptr;
+  // mo: acquire pairs with the producers' release CAS so every inbox_next
+  // link in the chain is visible.
   Task* chain = victim.inbox_head.exchange(nullptr, std::memory_order_acquire);
   if (chain == nullptr) return nullptr;
   // Reverse the LIFO chain back to submission order.
   Task* ordered = nullptr;
   std::size_t count = 0;
   while (chain != nullptr) {
+    // mo: relaxed — the chain is exclusively owned after the exchange.
     Task* next = chain->inbox_next.load(std::memory_order_relaxed);
+    // mo: relaxed — exclusively-owned chain rewrite.
     chain->inbox_next.store(ordered, std::memory_order_relaxed);
     ordered = chain;
     chain = next;
@@ -128,21 +142,26 @@ Task* StealScheduler::adopt_chain(WorkerSlot& me, Task* chain, std::size_t n,
   Task* tail = chain;
   std::size_t kept = 1;
   for (; kept < cap; ++kept) {
+    // mo: relaxed — exclusively-owned chain walk (drained above).
     Task* next = tail->inbox_next.load(std::memory_order_relaxed);
     if (next == nullptr) break;
     tail = next;
   }
+  // mo: relaxed — exclusively-owned chain split.
   Task* spill = tail->inbox_next.load(std::memory_order_relaxed);
   tail->inbox_next.store(nullptr, std::memory_order_relaxed);
   if (spill == nullptr) kept = n;  // whole chain fit in the batch
+  // mo: relaxed — bulk gauge decrement; see acquired() for the bound.
   items_.fetch_sub(kept, std::memory_order_relaxed);
   while (spill != nullptr) {
+    // mo: relaxed — exclusively-owned spill walk; deque.push publishes.
     Task* next = spill->inbox_next.load(std::memory_order_relaxed);
     spill->inbox_next.store(nullptr, std::memory_order_relaxed);
     me.deque.push(spill);
     spill = next;
   }
   Task* task = me.batch_head;
+  // mo: relaxed — batch links are owner-private from here on.
   me.batch_head = task->inbox_next.load(std::memory_order_relaxed);
   task->inbox_next.store(nullptr, std::memory_order_relaxed);
   me.batch_size.store(static_cast<std::uint32_t>(kept) - 1);
@@ -155,10 +174,12 @@ Task* StealScheduler::acquire_local(unsigned lane) {
     // Private batch: two pointer moves, no deque fence, no items_ traffic
     // (the whole batch was accounted when it was carved off).
     Task* task = slot.batch_head;
+    // mo: relaxed — batch links are owner-private.
     slot.batch_head = task->inbox_next.load(std::memory_order_relaxed);
     task->inbox_next.store(nullptr, std::memory_order_relaxed);
     slot.batch_size.store(slot.batch_size.load() - 1);
     if (tracer_ != nullptr && tracer_->enabled()) {
+      // mo: relaxed — depth sample is monitoring only.
       tracer_->sample_depth(now_ns(), items_.load(std::memory_order_relaxed));
     }
     return task;
@@ -178,11 +199,14 @@ Task* StealScheduler::acquire_local(unsigned lane) {
   if (chain == nullptr) return nullptr;
   slot.inbox_drains.store(slot.inbox_drains.load() + 1);
   slot.inbox_drained_tasks.store(slot.inbox_drained_tasks.load() + n);
+  // mo: relaxed — the miss counter and cap are heuristics; stale reads only
+  // delay an adaptation step.
   const std::uint64_t misses = steal_misses_.load(std::memory_order_relaxed);
   std::uint32_t cap = batch_cap_.load(std::memory_order_relaxed);
   if (misses == slot.last_misses) {
     if (cap < kBatchMax) {
       cap *= 2;
+      // mo: relaxed — heuristic knob; no data is published through it.
       batch_cap_.store(cap, std::memory_order_relaxed);
     }
   } else {
@@ -217,6 +241,7 @@ Task* StealScheduler::acquire_steal(unsigned lane) {
       me.victim_cursor = v;
       me.inbox_drains.store(me.inbox_drains.load() + 1);
       me.inbox_drained_tasks.store(me.inbox_drained_tasks.load() + n);
+      // mo: relaxed — the cap is a heuristic; any recent value serves.
       return adopt_chain(me, chain, n, batch_cap_.load(std::memory_order_relaxed));
     }
     if (victim.batch_size.load() > 0) hoarded = true;
@@ -228,6 +253,8 @@ Task* StealScheduler::acquire_steal(unsigned lane) {
   // that misses transiently between productive acquires is noise, but a
   // lane that gives up and sleeps while work sits in someone's private
   // batch genuinely starved because of batching.
+  // mo: relaxed — starvation heuristic; pop_blocking re-checks with seq_cst
+  // before actually sleeping.
   me.missed_with_work = hoarded || items_.load(std::memory_order_relaxed) > 0;
   me.steal_fails.store(me.steal_fails.load() + 1);
   return nullptr;
@@ -235,6 +262,7 @@ Task* StealScheduler::acquire_steal(unsigned lane) {
 
 SchedulerStats StealScheduler::stats() const noexcept {
   SchedulerStats s;
+  // mo: relaxed — racy monitoring snapshot by contract.
   s.depth = items_.load(std::memory_order_relaxed);
   s.inbox_batch_cap = batch_cap_.load(std::memory_order_relaxed);
   s.steal_misses = steal_misses_.load(std::memory_order_relaxed);
@@ -251,6 +279,7 @@ void StealScheduler::note_starved(unsigned lane) {
   WorkerSlot& me = *slots_[lane];
   if (!me.missed_with_work) return;
   me.missed_with_work = false;
+  // mo: relaxed — heuristic counters/knobs; no data published through them.
   steal_misses_.fetch_add(1, std::memory_order_relaxed);
   const std::uint32_t cap = batch_cap_.load(std::memory_order_relaxed);
   if (cap > kBatchMin) {
@@ -269,6 +298,7 @@ Task* StealScheduler::pop_blocking(unsigned worker) {
     // Spin phase: bounded acquire rounds with yields between them.
     for (int round = 0; round < kSpinRounds; ++round) {
       if (Task* task = try_pop(worker)) return task;
+      // mo: acquire pairs with shutdown()'s release store.
       if (shutdown_.load(std::memory_order_acquire)) {
         // Drain semantics: after shutdown keep acquiring until the system
         // is globally empty, then exit. taskwait() ran before shutdown in
@@ -277,20 +307,25 @@ Task* StealScheduler::pop_blocking(unsigned worker) {
       }
       std::this_thread::yield();
     }
+    // mo: acquire pairs with shutdown()'s release store.
     if (shutdown_.load(std::memory_order_acquire)) continue;  // drain, never park
     note_starved(worker);
 
     // Park. Register as a sleeper first (seq_cst, pairing with note_push),
-    // then re-check for work under the predicate: a push that raced our
+    // then re-check for work under the lock: a push that raced our
     // registration is seen either here or by its sleeper check.
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     {
-      std::unique_lock<std::mutex> lock(park_mutex_);
-      park_cv_.wait(lock, [&] {
-        return shutdown_.load(std::memory_order_acquire) ||
-               items_.load(std::memory_order_seq_cst) > 0;
-      });
+      MutexLock lock(park_mutex_);
+      // mo: acquire on shutdown_ pairs with shutdown()'s release store;
+      // items_ stays seq_cst to close the sleep/wake race with note_push.
+      while (!shutdown_.load(std::memory_order_acquire) &&
+             items_.load(std::memory_order_seq_cst) == 0) {
+        park_cv_.wait(park_mutex_);
+      }
     }
+    // mo: relaxed — deregistering needs no ordering; a spurious notify to a
+    // lane that just woke is harmless.
     sleepers_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
@@ -298,28 +333,33 @@ Task* StealScheduler::pop_blocking(unsigned worker) {
 Task* StealScheduler::helper_pop(const std::function<bool()>& quit) {
   const unsigned lane = workers_;  // the helper slot
   for (;;) {
+    // mo: acquire pairs with shutdown()'s release store.
     if (quit() || shutdown_.load(std::memory_order_acquire)) return nullptr;
     if (Task* task = try_pop(lane)) return task;
     // Short spin only: the helper is a bonus lane; on few-core hosts the
     // workers own the backlog and need the cycles more.
     for (int round = 0; round < kHelperSpinRounds; ++round) {
+      // mo: acquire pairs with shutdown()'s release store.
       if (quit() || shutdown_.load(std::memory_order_acquire)) return nullptr;
       if (Task* task = try_pop(lane)) return task;
       std::this_thread::yield();
     }
     note_starved(lane);
     // Park on the shared lot. Same seq_cst sleeper/item pairing as the
-    // workers, with the quit condition folded into the predicate — the
+    // workers, with the quit condition folded into the wait loop — the
     // runtime calls notify_helpers() when it flips, so the wakeup is
     // exactly the push/quit/shutdown union, never a timeout poll.
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     {
-      std::unique_lock<std::mutex> lock(park_mutex_);
-      park_cv_.wait(lock, [&] {
-        return shutdown_.load(std::memory_order_acquire) ||
-               items_.load(std::memory_order_seq_cst) > 0 || quit();
-      });
+      MutexLock lock(park_mutex_);
+      // mo: acquire on shutdown_ pairs with shutdown()'s release store;
+      // items_ stays seq_cst to close the sleep/wake race with note_push.
+      while (!shutdown_.load(std::memory_order_acquire) &&
+             items_.load(std::memory_order_seq_cst) == 0 && !quit()) {
+        park_cv_.wait(park_mutex_);
+      }
     }
+    // mo: relaxed — deregistering needs no ordering.
     sleepers_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
@@ -327,16 +367,21 @@ Task* StealScheduler::helper_pop(const std::function<bool()>& quit) {
 void StealScheduler::notify_helpers() {
   // notify_all, not notify_one: the lot is shared with the workers and the
   // wakeup must reach the helper specifically.
-  std::lock_guard<std::mutex> lock(park_mutex_);
+  MutexLock lock(park_mutex_);
   park_cv_.notify_all();
 }
 
 void StealScheduler::shutdown() {
+  // mo: release pairs with the acquire loads in the pop paths so a worker
+  // that observes shutdown also observes everything queued before it.
   shutdown_.store(true, std::memory_order_release);
-  std::lock_guard<std::mutex> lock(park_mutex_);
+  MutexLock lock(park_mutex_);
   park_cv_.notify_all();
 }
 
-void StealScheduler::reset() { shutdown_.store(false, std::memory_order_release); }
+void StealScheduler::reset() {
+  // mo: release mirrors shutdown(); pairs with the pop-side acquire loads.
+  shutdown_.store(false, std::memory_order_release);
+}
 
 }  // namespace atm::rt

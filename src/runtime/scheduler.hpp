@@ -21,13 +21,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "runtime/ready_queue.hpp"
 #include "runtime/task.hpp"
 #include "runtime/trace.hpp"
@@ -191,6 +190,7 @@ class StealScheduler final : public Scheduler {
   void shutdown() override;
   void reset() override;
   [[nodiscard]] std::size_t depth() const noexcept override {
+    // mo: relaxed — racy monitoring gauge by contract.
     return items_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] SchedulerStats stats() const noexcept override;
@@ -267,8 +267,10 @@ class StealScheduler final : public Scheduler {
   std::atomic<std::uint64_t> steal_misses_{0};
 
   std::atomic<int> sleepers_{0};
-  std::mutex park_mutex_;
-  std::condition_variable park_cv_;
+  /// Parking lot only — never on the task hot path: pushers touch it solely
+  /// when a registered sleeper exists (see note_push).
+  Mutex park_mutex_;
+  CondVar park_cv_;
 
   TraceRecorder* tracer_;
 };

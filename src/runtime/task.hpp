@@ -45,18 +45,25 @@ class AtomicCell {
  public:
   constexpr AtomicCell() noexcept = default;
   constexpr AtomicCell(T v) noexcept : v_(v) {}
+  // mo: relaxed — copies are single-threaded snapshots by contract (above).
   AtomicCell(const AtomicCell& other) noexcept
       : v_(other.v_.load(std::memory_order_relaxed)) {}
   AtomicCell& operator=(const AtomicCell& other) noexcept {
+    // mo: relaxed — copies are single-threaded snapshots by contract.
     v_.store(other.v_.load(std::memory_order_relaxed), std::memory_order_relaxed);
     return *this;
   }
   AtomicCell& operator=(T v) noexcept {
+    // mo: relaxed — the convenience path is for owner-private cells; callers
+    // needing ordering use store() with an explicit order.
     v_.store(v, std::memory_order_relaxed);
     return *this;
   }
+  // mo: relaxed — convenience read mirrors operator=; see above.
   operator T() const noexcept { return v_.load(std::memory_order_relaxed); }
 
+  // mo: relaxed defaults — most cells are owner-private counters/gauges;
+  // call sites that publish data pass an explicit stronger order.
   [[nodiscard]] T load(std::memory_order mo = std::memory_order_relaxed) const noexcept {
     return v_.load(mo);
   }
@@ -101,17 +108,17 @@ struct Task {
   std::vector<DataAccess> accesses;
 
   // --- dependence graph state ---
+  TaskSpinLock succ_lock;
   /// Successor tasks to release at completion. Guarded by succ_lock from the
   /// moment the task is visible to other submitters until succ_sealed.
-  std::vector<Task*> successors;
+  std::vector<Task*> successors ATM_GUARDED_BY(succ_lock);
   /// Unreleased predecessors + 1 submission guard while registering. The
   /// thread whose decrement reaches zero owns the push to the scheduler.
   AtomicCell<std::uint32_t> pending_preds{0};
   TaskStateCell state;
-  TaskSpinLock succ_lock;
   /// Set (under succ_lock) when completion swaps the successor list out; a
   /// submitter finding it set treats the dependence as already satisfied.
-  bool succ_sealed = false;
+  bool succ_sealed ATM_GUARDED_BY(succ_lock) = false;
 
   // --- lifecycle (see TaskArena) ---
   /// 1 in-flight reference + 1 per segment slot naming this task.
@@ -130,6 +137,14 @@ struct Task {
   double atm_p = 0.0;        ///< the p used to compute atm_key
   bool atm_key_valid = false;
   bool atm_memoized = false; ///< outputs provided without executing fn
+
+  /// Reset the dependence-graph state of an exclusively-owned slot (freshly
+  /// popped from the arena free list, visible to no other thread yet) — the
+  /// one place guarded fields are legally touched without succ_lock.
+  void reset_dep_state_unshared() ATM_NO_THREAD_SAFETY_ANALYSIS {
+    successors.clear();
+    succ_sealed = false;
+  }
 
   [[nodiscard]] std::size_t input_bytes() const noexcept {
     std::size_t n = 0;

@@ -15,9 +15,10 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/spin_lock.hpp"
+#include "common/thread_safety.hpp"
 #include "runtime/task.hpp"
 
 namespace atm::rt {
@@ -49,26 +50,28 @@ class TaskArena {
   [[nodiscard]] Task* acquire() {
     Task* task = nullptr;
     {
-      std::lock_guard<TaskSpinLock> lock(mutex_);
+      SpinLockGuard lock(mutex_);
       if (free_head_ == nullptr) {
         // Refill from the release stack in one exchange: releasers never
         // touch the mutex, so completions on workers cannot bounce a lock
         // against the submitting thread.
+        // mo: acquire pairs with release()'s releasing CAS so the drained
+        // slots' free_next links are visible.
         free_head_ = recycled_.exchange(nullptr, std::memory_order_acquire);
         if (free_head_ == nullptr) grow_locked();
       }
       task = free_head_;
       free_head_ = task->free_next;
     }
+    // mo: relaxed — occupancy gauge, monitoring only.
     free_count_.fetch_sub(1, std::memory_order_relaxed);
     task->id = 0;
     task->type = nullptr;
     task->fn = nullptr;
     task->accesses.clear();
-    task->successors.clear();
+    task->reset_dep_state_unshared();
     task->pending_preds.store(0);
     task->state = TaskState::Created;
-    task->succ_sealed = false;
     task->refs.store(1);
     task->free_next = nullptr;
     task->inbox_next.store(nullptr);
@@ -84,16 +87,21 @@ class TaskArena {
   /// slot's vectors keep their capacity; the closure was already dropped at
   /// completion.
   void release(Task* task) noexcept {
+    // mo: relaxed — head is only a CAS expected value; the CAS re-validates.
     Task* head = recycled_.load(std::memory_order_relaxed);
     do {
       task->free_next = head;
+      // mo: release publishes free_next (and the retired slot's state) to
+      // acquire()'s draining exchange; relaxed on failure (retry rereads).
     } while (!recycled_.compare_exchange_weak(head, task, std::memory_order_release,
                                               std::memory_order_relaxed));
+    // mo: relaxed — occupancy gauge, monitoring only.
     free_count_.fetch_add(1, std::memory_order_relaxed);
   }
 
   [[nodiscard]] TaskArenaStats stats() const {
     TaskArenaStats s;
+    // mo: relaxed — racy monitoring snapshot by contract.
     s.slots = slot_count_.load(std::memory_order_relaxed);
     s.free_slots = free_count_.load(std::memory_order_relaxed);
     s.blocks = block_count_.load(std::memory_order_relaxed);
@@ -102,7 +110,7 @@ class TaskArena {
   }
 
  private:
-  void grow_locked() {
+  void grow_locked() ATM_REQUIRES(mutex_) {
     auto block = std::make_unique<Task[]>(tasks_per_block_);
     for (std::size_t i = 0; i < tasks_per_block_; ++i) {
       block[i].pool = this;
@@ -110,6 +118,7 @@ class TaskArena {
       free_head_ = &block[i];
     }
     blocks_.push_back(std::move(block));
+    // mo: relaxed — occupancy gauges, monitoring only.
     slot_count_.fetch_add(tasks_per_block_, std::memory_order_relaxed);
     free_count_.fetch_add(tasks_per_block_, std::memory_order_relaxed);
     block_count_.fetch_add(1, std::memory_order_relaxed);
@@ -121,8 +130,8 @@ class TaskArena {
   /// Acquire side: spinlock-protected stash (submitters only; the critical
   /// section is a pointer pop except when a new block is carved).
   TaskSpinLock mutex_;
-  Task* free_head_ = nullptr;
-  std::vector<std::unique_ptr<Task[]>> blocks_;
+  Task* free_head_ ATM_GUARDED_BY(mutex_) = nullptr;
+  std::vector<std::unique_ptr<Task[]>> blocks_ ATM_GUARDED_BY(mutex_);
   std::atomic<std::size_t> slot_count_{0};
   std::atomic<std::size_t> free_count_{0};
   std::atomic<std::size_t> block_count_{0};
@@ -131,6 +140,8 @@ class TaskArena {
 /// Add one lifetime reference to `task` (segment slots, etc.). Legal for
 /// standalone tasks too: their count never reaches the release path.
 inline void task_retain(Task* task) noexcept {
+  // mo: relaxed — taking a reference publishes nothing; the holder already
+  // reached the task through a synchronizing edge.
   task->refs.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -138,6 +149,9 @@ inline void task_retain(Task* task) noexcept {
 /// The thread that drops the last reference retires the slot to its arena
 /// (standalone tasks — pool == nullptr — are simply left alone).
 inline void task_release(Task* task) noexcept {
+  // mo: acq_rel — release orders this holder's last use before the drop;
+  // acquire on the final decrement orders every other holder's uses before
+  // the slot is recycled.
   if (task->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     if (task->pool != nullptr) task->pool->release(task);
   }

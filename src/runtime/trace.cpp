@@ -22,12 +22,12 @@ void TraceRecorder::record(std::size_t lane, TraceState state, std::uint64_t t0,
 
 void TraceRecorder::sample_depth(std::uint64_t t, std::size_t depth) {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(depth_mutex_);
+  MutexLock lock(depth_mutex_);
   depth_.push_back(DepthSample{t, static_cast<std::uint32_t>(depth)});
 }
 
 std::vector<DepthSample> TraceRecorder::depth_samples() const {
-  std::lock_guard<std::mutex> lock(depth_mutex_);
+  MutexLock lock(depth_mutex_);
   auto copy = depth_;
   std::sort(copy.begin(), copy.end(),
             [](const DepthSample& a, const DepthSample& b) { return a.t < b.t; });
@@ -123,7 +123,7 @@ std::string TraceRecorder::ascii_timeline(std::size_t width) const {
 
 void TraceRecorder::clear() {
   for (auto& lane : lanes_) lane.clear();
-  std::lock_guard<std::mutex> lock(depth_mutex_);
+  MutexLock lock(depth_mutex_);
   depth_.clear();
 }
 

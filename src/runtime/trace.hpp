@@ -9,9 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace atm::rt {
 
@@ -100,8 +101,8 @@ class TraceRecorder {
  private:
   bool enabled_;
   std::vector<std::vector<TraceEvent>> lanes_;
-  mutable std::mutex depth_mutex_;
-  std::vector<DepthSample> depth_;
+  mutable Mutex depth_mutex_;
+  std::vector<DepthSample> depth_ ATM_GUARDED_BY(depth_mutex_);
 };
 
 /// RAII scope that records one event on a lane.

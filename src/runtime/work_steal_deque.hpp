@@ -64,6 +64,7 @@ class WorkStealDeque {
       : buffer_(new Buffer(round_up_pow2(initial_capacity))) {}
 
   ~WorkStealDeque() {
+    // mo: relaxed — single-threaded teardown; no concurrent access remains.
     delete buffer_.load(detail::relax_unless_tsan(std::memory_order_relaxed));
   }
 
@@ -72,53 +73,73 @@ class WorkStealDeque {
 
   /// Owner only: push one task at the bottom.
   void push(Task* task) {
+    // mo: relaxed bottom/buffer — owner-private variables (only the owner
+    // writes them); mo: acquire top — synchronizes with the thieves' CAS so
+    // the owner's capacity check sees freed slots.
     const std::int64_t b = bottom_.load(detail::relax_unless_tsan(std::memory_order_relaxed));
     const std::int64_t t = top_.load(detail::relax_unless_tsan(std::memory_order_acquire));
     Buffer* buf = buffer_.load(detail::relax_unless_tsan(std::memory_order_relaxed));
     if (b - t >= static_cast<std::int64_t>(buf->capacity)) {
       buf = grow(buf, t, b);
     }
+    // mo: relaxed slot store — the release fence below orders it before the
+    // bottom store that publishes the slot to thieves (Lê et al. Fig. 1).
     buf->slot(b).store(task, detail::relax_unless_tsan(std::memory_order_relaxed));
-    // Publish the slot before the new bottom becomes visible to thieves.
+    // mo: release fence — publish the slot before the new bottom becomes
+    // visible to thieves; mo: relaxed bottom store — the fence carries the
+    // ordering.
     detail::deque_fence(std::memory_order_release);
     bottom_.store(b + 1, detail::relax_unless_tsan(std::memory_order_relaxed));
   }
 
   /// Owner only: pop the most recently pushed task; nullptr when empty.
   Task* pop() {
+    // mo: relaxed — bottom/buffer are owner-private; the seq_cst fence below
+    // provides the only cross-thread ordering pop needs.
     const std::int64_t b = bottom_.load(detail::relax_unless_tsan(std::memory_order_relaxed)) - 1;
     Buffer* buf = buffer_.load(detail::relax_unless_tsan(std::memory_order_relaxed));
     bottom_.store(b, detail::relax_unless_tsan(std::memory_order_relaxed));
-    // The bottom store must be ordered before the top load (store-load),
-    // mirroring the fence in steal(): either the owner sees the thief's
-    // incremented top, or the thief sees the reserved bottom.
+    // mo: seq_cst fence — the bottom store must be ordered before the top
+    // load (store-load), mirroring the fence in steal(): either the owner
+    // sees the thief's incremented top, or the thief sees the reserved
+    // bottom. mo: relaxed top load — the fence carries the ordering.
     detail::deque_fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(detail::relax_unless_tsan(std::memory_order_relaxed));
     if (t > b) {
-      // Deque was empty; undo the reservation.
+      // mo: relaxed — deque was empty; undo the owner-private reservation.
       bottom_.store(b + 1, detail::relax_unless_tsan(std::memory_order_relaxed));
       return nullptr;
     }
+    // mo: relaxed slot load — the owner published this slot itself.
     Task* task = buf->slot(b).load(detail::relax_unless_tsan(std::memory_order_relaxed));
     if (t != b) return task;  // more than one element: no race possible
-    // Single element: race the thieves for it via top.
+    // mo: seq_cst CAS — single element: race the thieves for it via top;
+    // relaxed on failure (the value is discarded).
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       detail::relax_unless_tsan(std::memory_order_relaxed))) {
       task = nullptr;  // a thief won
     }
+    // mo: relaxed — bottom is owner-private.
     bottom_.store(b + 1, detail::relax_unless_tsan(std::memory_order_relaxed));
     return task;
   }
 
   /// Thieves: steal the oldest task; nullptr when empty or lost a race.
   Task* steal() {
+    // mo: acquire top — pairs with the winning CAS of other thieves.
     std::int64_t t = top_.load(detail::relax_unless_tsan(std::memory_order_acquire));
-    // Order the top load before the bottom load (see pop()).
+    // mo: seq_cst fence — order the top load before the bottom load (the
+    // load-load mirror of the fence in pop()).
     detail::deque_fence(std::memory_order_seq_cst);
+    // mo: acquire bottom/buffer — pair with push()'s release so the slot
+    // contents (and a grown buffer) are visible before we read the slot.
     const std::int64_t b = bottom_.load(detail::relax_unless_tsan(std::memory_order_acquire));
     if (t >= b) return nullptr;
     Buffer* buf = buffer_.load(detail::relax_unless_tsan(std::memory_order_acquire));
+    // mo: relaxed slot load — ordered by the acquires above.
     Task* task = buf->slot(t).load(detail::relax_unless_tsan(std::memory_order_relaxed));
+    // mo: seq_cst CAS — claims the element against the owner and other
+    // thieves; relaxed on failure (the value is discarded).
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       detail::relax_unless_tsan(std::memory_order_relaxed))) {
       return nullptr;  // another thief or the owner won; caller retries
@@ -128,6 +149,7 @@ class WorkStealDeque {
 
   /// Racy size estimate (monitoring/backoff only, never for correctness).
   [[nodiscard]] std::size_t size_estimate() const noexcept {
+    // mo: relaxed — racy estimate by contract.
     const std::int64_t b = bottom_.load(detail::relax_unless_tsan(std::memory_order_relaxed));
     const std::int64_t t = top_.load(detail::relax_unless_tsan(std::memory_order_relaxed));
     return b > t ? static_cast<std::size_t>(b - t) : 0;
@@ -136,6 +158,7 @@ class WorkStealDeque {
   [[nodiscard]] bool empty_estimate() const noexcept { return size_estimate() == 0; }
 
   [[nodiscard]] std::size_t capacity() const noexcept {
+    // mo: relaxed — monitoring read; capacity is immutable per buffer.
     return buffer_.load(detail::relax_unless_tsan(std::memory_order_relaxed))->capacity;
   }
 
@@ -168,10 +191,13 @@ class WorkStealDeque {
   /// Owner only (called from push): double the buffer, copy live slots.
   Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
     auto* bigger = new Buffer(old->capacity * 2);
+    // mo: relaxed copy — the old slots were published before this call and
+    // the release store below republishes them through the new buffer.
     for (std::int64_t i = t; i < b; ++i) {
       bigger->slot(i).store(old->slot(i).load(detail::relax_unless_tsan(std::memory_order_relaxed)),
                             detail::relax_unless_tsan(std::memory_order_relaxed));
     }
+    // mo: release — thieves acquiring buffer_ must see the copied slots.
     buffer_.store(bigger, detail::relax_unless_tsan(std::memory_order_release));
     retired_.emplace_back(old);  // thieves may still hold the old pointer
     return bigger;

@@ -31,7 +31,7 @@ void L2CapacityStore::put(MemoEntry&& entry) {
   Shard& shard = shard_for(entry.key);
   std::uint64_t evicted = 0;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     auto it = shard.index.find(entry.key);
     if (it != shard.index.end()) {
       // Refresh: drop the stale entry, then insert like any new one — the
@@ -42,26 +42,25 @@ void L2CapacityStore::put(MemoEntry&& entry) {
       shard.index.erase(it);
     }
     // An entry larger than the whole shard budget can never fit; storing
-    // it would immediately evict everything including itself.
+    // it would immediately evict everything including itself. Counted as
+    // one eviction below (outside the shard lock — never nest stats under
+    // a shard).
     if (cost > shard_budget_) {
-      std::lock_guard<std::mutex> slock(stats_mutex_);
-      ++stats_.puts;
-      ++stats_.evictions;
-      stats_.compressed_regions += compressed;
-      return;
+      evicted = 1;
+    } else {
+      while (!shard.entries.empty() && shard.cost + cost > shard_budget_) {
+        MemoEntry& victim = shard.entries.front();
+        shard.cost -= entry_cost(victim);
+        shard.index.erase(victim.key);
+        shard.entries.pop_front();
+        ++evicted;
+      }
+      shard.cost += cost;
+      shard.entries.push_back(std::move(entry));
+      shard.index.emplace(shard.entries.back().key, std::prev(shard.entries.end()));
     }
-    while (!shard.entries.empty() && shard.cost + cost > shard_budget_) {
-      MemoEntry& victim = shard.entries.front();
-      shard.cost -= entry_cost(victim);
-      shard.index.erase(victim.key);
-      shard.entries.pop_front();
-      ++evicted;
-    }
-    shard.cost += cost;
-    shard.entries.push_back(std::move(entry));
-    shard.index.emplace(shard.entries.back().key, std::prev(shard.entries.end()));
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   ++stats_.puts;
   stats_.evictions += evicted;
   stats_.compressed_regions += compressed;
@@ -71,7 +70,7 @@ bool L2CapacityStore::extract(const MemoKey& key, MemoEntry* out, bool erase) {
   Shard& shard = shard_for(key);
   bool found = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       found = true;
@@ -86,7 +85,7 @@ bool L2CapacityStore::extract(const MemoKey& key, MemoEntry* out, bool erase) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     found ? ++stats_.hits : ++stats_.misses;
   }
   if (!found) return false;
@@ -106,7 +105,7 @@ bool L2CapacityStore::take(const MemoKey& key, MemoEntry* out) {
 
 void L2CapacityStore::clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.entries.clear();
     shard.index.clear();
     shard.cost = 0;
@@ -116,7 +115,7 @@ void L2CapacityStore::clear() {
 std::size_t L2CapacityStore::entry_count() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     n += shard.entries.size();
   }
   return n;
@@ -125,7 +124,7 @@ std::size_t L2CapacityStore::entry_count() const {
 std::size_t L2CapacityStore::payload_bytes() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     for (const MemoEntry& e : shard.entries) n += e.payload_bytes();
   }
   return n;
@@ -134,25 +133,25 @@ std::size_t L2CapacityStore::payload_bytes() const {
 std::size_t L2CapacityStore::memory_bytes() const {
   std::size_t n = sizeof(*this) + shards_.size() * sizeof(Shard);
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     n += shard.cost;
   }
   return n;
 }
 
 MemoStoreStats L2CapacityStore::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   return stats_;
 }
 
 void L2CapacityStore::reset_stats() {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   stats_ = MemoStoreStats{};
 }
 
 void L2CapacityStore::for_each(const std::function<void(const MemoEntry&)>& fn) const {
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     for (const MemoEntry& e : shard.entries) fn(e);
   }
 }

@@ -14,9 +14,9 @@
 #pragma once
 
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.hpp"
 #include "store/memo_store.hpp"
 
 namespace atm::store {
@@ -49,11 +49,12 @@ class L2CapacityStore final : public MemoStore {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
     /// FIFO order: front is the demotion-time oldest, evicted first.
-    std::list<MemoEntry> entries;
-    std::unordered_map<MemoKey, std::list<MemoEntry>::iterator, MemoKeyHash> index;
-    std::size_t cost = 0;  ///< sum of entry_cost() for resident entries
+    std::list<MemoEntry> entries ATM_GUARDED_BY(mutex);
+    std::unordered_map<MemoKey, std::list<MemoEntry>::iterator, MemoKeyHash> index
+        ATM_GUARDED_BY(mutex);
+    std::size_t cost ATM_GUARDED_BY(mutex) = 0;  ///< sum of entry_cost() for residents
   };
 
   [[nodiscard]] Shard& shard_for(const MemoKey& key) noexcept {
@@ -71,8 +72,8 @@ class L2CapacityStore final : public MemoStore {
   std::size_t shard_mask_;
   std::size_t shard_budget_;
 
-  mutable std::mutex stats_mutex_;
-  MemoStoreStats stats_;
+  mutable Mutex stats_mutex_;
+  MemoStoreStats stats_ ATM_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace atm::store

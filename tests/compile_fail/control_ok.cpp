@@ -1,0 +1,31 @@
+// Control case: the same wrappers used correctly MUST compile under
+// -Werror=thread-safety, proving the sibling compile-fail cases break
+// because of their violations, not because of flag or include breakage.
+#include "common/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    atm::MutexLock lock(mutex_);
+    balance_ += amount;
+  }
+
+  int balance() const {
+    atm::MutexLock lock(mutex_);
+    return balance_;
+  }
+
+ private:
+  mutable atm::Mutex mutex_;
+  int balance_ ATM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int compile_fail_control_case() {
+  Account a;
+  a.deposit(1);
+  return a.balance();
+}

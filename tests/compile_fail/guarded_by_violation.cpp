@@ -1,0 +1,30 @@
+// MUST NOT COMPILE under -Werror=thread-safety: reads and writes a
+// GUARDED_BY member without holding its mutex. The compile_fail CMake
+// harness inverts the build result — this file failing to build is the
+// test passing.
+#include "common/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    balance_ += amount;  // BUG: mutex_ not held
+  }
+
+  int balance() const {
+    return balance_;  // BUG: mutex_ not held
+  }
+
+ private:
+  mutable atm::Mutex mutex_;
+  int balance_ ATM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int compile_fail_guarded_by_violation() {
+  Account a;
+  a.deposit(1);
+  return a.balance();
+}

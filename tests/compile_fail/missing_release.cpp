@@ -1,0 +1,24 @@
+// MUST NOT COMPILE under -Werror=thread-safety: acquires a capability on
+// one path and returns without releasing it on another. The compile_fail
+// CMake harness inverts the build result — this file failing to build is
+// the test passing.
+#include "common/mutex.hpp"
+
+namespace {
+
+atm::Mutex g_mutex;
+int g_value ATM_GUARDED_BY(g_mutex) = 0;
+
+int take_and_maybe_leak(bool leak) {
+  g_mutex.lock();
+  const int v = g_value;
+  if (leak) {
+    return v;  // BUG: returns with g_mutex still held
+  }
+  g_mutex.unlock();
+  return v;
+}
+
+}  // namespace
+
+int compile_fail_missing_release() { return take_and_maybe_leak(false); }

@@ -278,6 +278,30 @@ TEST(RuntimeMetrics, ProfileTasksRecordsPerTypeHistogram) {
   EXPECT_EQ(hist->hist.count, 16u);
 }
 
+TEST(RuntimeMetrics, ProfileTypeCapSkipsHighTypeIds) {
+  // profile_max_types sizes the per-type histogram slot array: the first
+  // registered type (id 0) profiles, the second (id 1 >= cap) runs
+  // unprofiled but otherwise executes normally.
+  rt::Runtime runtime(
+      {.num_threads = 1, .profile_tasks = true, .profile_max_types = 1});
+  const auto* a =
+      runtime.register_type({.name = "a", .memoizable = false, .atm = {}});
+  const auto* b =
+      runtime.register_type({.name = "b", .memoizable = false, .atm = {}});
+  int cell = 0;
+  for (int i = 0; i < 4; ++i) {
+    runtime.submit(a, [] {}, {rt::inout(&cell, 1)});
+    runtime.submit(b, [] {}, {rt::inout(&cell, 1)});
+  }
+  runtime.taskwait();
+  const RegistrySnapshot snap = runtime.metrics().snapshot();
+  const MetricSample* hist_a = snap.find("task.a.exec_ns");
+  ASSERT_NE(hist_a, nullptr);
+  EXPECT_EQ(hist_a->hist.count, 4u);
+  EXPECT_EQ(snap.find("task.b.exec_ns"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.find("runtime.tasks_executed")->value, 8.0);
+}
+
 TEST(RuntimeMetrics, SamplerSeriesHarvestable) {
   rt::Runtime runtime({.num_threads = 1, .metrics_interval_ms = 1});
   const auto* type =
@@ -335,6 +359,36 @@ TEST(EngineMetrics, ExportsAtmCountersAndTypeProfiles) {
   const MetricSample* copy = snap.find("atm.type.square.copy_ns");
   ASSERT_NE(copy, nullptr);
   EXPECT_EQ(copy->hist.count, 1u);
+}
+
+TEST(EngineMetrics, ProfileTypeCapSkipsEngineProfiles) {
+  // AtmConfig::profile_max_types = 0: no per-type profile slots exist, so
+  // atm.type.* instruments never register — memoization itself still works.
+  AtmEngine engine({.mode = AtmMode::Static, .profile_max_types = 0});
+  rt::Runtime runtime({.num_threads = 1});
+  runtime.attach_memoizer(&engine);
+  const auto* type =
+      runtime.register_type({.name = "square", .memoizable = true, .atm = {}});
+  std::vector<double> input{1.0, 2.0, 3.0};
+  std::vector<double> out1(3), out2(3);
+  auto body = [&](std::vector<double>& out) {
+    return [&input, &out] {
+      for (std::size_t i = 0; i < input.size(); ++i) out[i] = input[i] * input[i];
+    };
+  };
+  runtime.submit(type, body(out1),
+                 {rt::in(input.data(), 3), rt::out(out1.data(), 3)});
+  runtime.taskwait();
+  runtime.submit(type, body(out2),
+                 {rt::in(input.data(), 3), rt::out(out2.data(), 3)});
+  runtime.taskwait();
+
+  const RegistrySnapshot snap = runtime.metrics().snapshot();
+  ASSERT_NE(snap.find("atm.tht_hits"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.find("atm.tht_hits")->value, 1.0);
+  EXPECT_EQ(snap.find("atm.type.square.hits"), nullptr);
+  EXPECT_EQ(snap.find("atm.type.square.hash_ns"), nullptr);
+  EXPECT_DOUBLE_EQ(out2[1], 4.0);
 }
 
 TEST(EngineMetrics, EngineOutlivedByRuntimeIsSafe) {

@@ -54,6 +54,9 @@
 //   --profile              per-task-type execution-latency histograms
 //                          (task.<type>.exec_ns; two extra clock reads
 //                          per task)
+//   --profile-types=N      cap on distinct task-type ids carrying per-type
+//                          profiles; types with id >= N run unprofiled
+//                          (default: 256)
 //   --baseline             also run mode=off and report speedup/correctness
 #include <cstdio>
 #include <cstring>
@@ -159,7 +162,8 @@ int usage(const char* argv0) {
                "          [--tolerance[=F]] [--tolerance-abs=F] [--probes=K] [--noise=F]\n"
                "          [--trace] [--trace-json=FILE] [--stats] [--stats-json=FILE]\n"
                "          [--metrics-json=FILE] [--metrics-csv=FILE]\n"
-               "          [--stats-interval=MS] [--profile] [--baseline]\n",
+               "          [--stats-interval=MS] [--profile] [--profile-types=N]\n"
+               "          [--baseline]\n",
                argv0);
   return 2;
 }
@@ -258,6 +262,9 @@ bool parse(int argc, char** argv, Options* opts) {
       opts->metrics_json = value;
     } else if (parse_flag(arg, "--metrics-csv", &value)) {
       opts->metrics_csv = value;
+    } else if (parse_flag(arg, "--profile-types", &value)) {
+      opts->config.profile_max_types =
+          static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
     } else if (parse_flag(arg, "--profile", &value)) {
       opts->config.profile_tasks = true;
     } else if (parse_flag(arg, "--stats", &value)) {
