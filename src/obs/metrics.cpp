@@ -251,36 +251,52 @@ std::size_t MetricsRegistry::add_collector(std::function<void(SampleSink&)> fn) 
 }
 
 void MetricsRegistry::remove_collector(std::size_t id) {
-  MutexLock lock(mutex_);
-  if (id < collectors_.size()) collectors_[id] = nullptr;
+  {
+    MutexLock lock(mutex_);
+    if (id < collectors_.size()) collectors_[id] = nullptr;
+  }
+  // Drain barrier: a concurrent snapshot() may have copied the collector
+  // before the null above landed. It runs collectors under collect_mutex_,
+  // so acquiring it here blocks until that pass finishes — after return,
+  // the caller can safely destroy whatever the collector captured.
+  MutexLock drain(collect_mutex_);
 }
 
 RegistrySnapshot MetricsRegistry::snapshot() const {
   RegistrySnapshot snap;
   snap.t_ns = steady_now_ns();
-  MutexLock lock(mutex_);
-  snap.metrics.reserve(entries_.size() + collectors_.size() * 8);
-  for (const auto& e : entries_) {
-    MetricSample m;
-    m.name = e->name;
-    m.unit = e->unit;
-    m.owner = e->owner;
-    m.kind = e->kind;
-    switch (e->kind) {
-      case MetricKind::Counter:
-        m.value = static_cast<double>(e->c->value());
-        break;
-      case MetricKind::Gauge:
-        m.value = static_cast<double>(e->g->value());
-        break;
-      case MetricKind::Histogram:
-        m.hist = e->h->snapshot();
-        break;
+  // collect_mutex_ is held across the collector pass; mutex_ only while
+  // copying registry state. Collectors therefore run lock-free from their
+  // own perspective and may create/bump instruments (which take mutex_)
+  // without deadlocking against this snapshot.
+  MutexLock collect(collect_mutex_);
+  std::vector<std::function<void(SampleSink&)>> collectors;
+  {
+    MutexLock lock(mutex_);
+    snap.metrics.reserve(entries_.size() + collectors_.size() * 8);
+    for (const auto& e : entries_) {
+      MetricSample m;
+      m.name = e->name;
+      m.unit = e->unit;
+      m.owner = e->owner;
+      m.kind = e->kind;
+      switch (e->kind) {
+        case MetricKind::Counter:
+          m.value = static_cast<double>(e->c->value());
+          break;
+        case MetricKind::Gauge:
+          m.value = static_cast<double>(e->g->value());
+          break;
+        case MetricKind::Histogram:
+          m.hist = e->h->snapshot();
+          break;
+      }
+      snap.metrics.push_back(std::move(m));
     }
-    snap.metrics.push_back(std::move(m));
+    collectors = collectors_;
   }
   SampleSink sink(&snap.metrics);
-  for (const auto& fn : collectors_) {
+  for (const auto& fn : collectors) {
     if (fn) fn(sink);
   }
   std::sort(snap.metrics.begin(), snap.metrics.end(),

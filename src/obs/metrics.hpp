@@ -227,9 +227,14 @@ class MetricsRegistry {
                               std::string owner = "");
 
   /// Register a snapshot-time callback; returns an id for remove_collector.
+  /// Collectors run OUTSIDE the registry mutex, so a collector may create
+  /// or bump instruments on this registry; it must not call snapshot() or
+  /// remove_collector() (those wait on the collector pass itself).
   std::size_t add_collector(std::function<void(SampleSink&)> fn);
   /// Detach a collector (an engine outliving or predeceasing the runtime
-  /// must unhook before its captured state dies).
+  /// must unhook before its captured state dies). Blocks until any
+  /// in-flight snapshot's collector pass has drained, so the captured
+  /// state is safe to destroy on return.
   void remove_collector(std::size_t id);
 
   [[nodiscard]] RegistrySnapshot snapshot() const;
@@ -248,6 +253,12 @@ class MetricsRegistry {
 
   Entry* find_locked(std::string_view name) ATM_REQUIRES(mutex_);
 
+  /// Serializes snapshot collector passes. snapshot() holds it across the
+  /// collector invocations but releases mutex_ first, so collectors can
+  /// register instruments without self-deadlocking; remove_collector takes
+  /// it (never while holding mutex_ — no ordering cycle) as the drain
+  /// barrier that makes detach safe.
+  mutable Mutex collect_mutex_;
   mutable Mutex mutex_;
   std::vector<std::unique_ptr<Entry>> entries_ ATM_GUARDED_BY(mutex_);
   std::vector<std::function<void(SampleSink&)>> collectors_ ATM_GUARDED_BY(mutex_);

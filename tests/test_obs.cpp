@@ -157,6 +157,57 @@ TEST(Registry, CollectorsRunAtSnapshotAndAreRemovable) {
   EXPECT_EQ(snap2.find("ext.hits"), nullptr);
 }
 
+TEST(Registry, CollectorMayTouchRegistryDuringSnapshot) {
+  // Regression: snapshot() used to hold the registry mutex while invoking
+  // collectors, so a collector that created or bumped an instrument on the
+  // same registry (the natural way to export a derived metric) deadlocked
+  // against its own snapshot. Collectors now run after the registry copy,
+  // outside the mutex.
+  MetricsRegistry reg;
+  reg.counter("pre.existing")->inc();
+  reg.add_collector([&reg](SampleSink& sink) {
+    reg.counter("made.in.collector")->inc();  // deadlocked before the fix
+    sink.counter("collector.sample", 7);
+  });
+  const RegistrySnapshot snap = reg.snapshot();
+  ASSERT_NE(snap.find("collector.sample"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.find("collector.sample")->value, 7.0);
+  ASSERT_NE(snap.find("pre.existing"), nullptr);
+  // The instrument registered mid-snapshot lands on the registry and shows
+  // up from the next snapshot on. Each snapshot copies entries BEFORE its
+  // collector pass runs, so snap2 sees the value as of snapshot 1's inc.
+  const RegistrySnapshot snap2 = reg.snapshot();
+  ASSERT_NE(snap2.find("made.in.collector"), nullptr);
+  EXPECT_DOUBLE_EQ(snap2.find("made.in.collector")->value, 1.0);
+}
+
+TEST(Registry, RemoveCollectorDrainsInFlightSnapshots) {
+  // remove_collector must not return while a concurrent snapshot may still
+  // be running the collector (the caller destroys captured state right
+  // after). Hammer snapshots from one thread while removing from another;
+  // the collector flips `alive` off before its captures die.
+  MetricsRegistry reg;
+  reg.counter("c")->inc();
+  std::atomic<bool> alive{true};
+  std::atomic<bool> stop{false};
+  auto captured = std::make_shared<int>(42);
+  const std::size_t id = reg.add_collector(
+      [&alive, captured](SampleSink& sink) {
+        ASSERT_TRUE(alive.load()) << "collector ran after remove_collector";
+        sink.counter("ext.c", static_cast<std::uint64_t>(*captured));
+      });
+  std::thread snapshotter([&] {
+    while (!stop.load()) (void)reg.snapshot();
+  });
+  for (int i = 0; i < 100; ++i) (void)reg.snapshot();
+  reg.remove_collector(id);
+  alive.store(false);
+  captured.reset();
+  for (int i = 0; i < 100; ++i) (void)reg.snapshot();
+  stop.store(true);
+  snapshotter.join();
+}
+
 TEST(Registry, SnapshotToJsonParsesStructurally) {
   MetricsRegistry reg;
   reg.counter("a\"quoted\"")->inc();
