@@ -86,13 +86,24 @@ void MetricsSampler::stop() {
   {
     MutexLock lock(mutex_);
     if (stopped_) return;
+    if (stop_claimed_) {
+      // Regression guard: a second concurrent stop() used to race the
+      // first caller into thread_.join() (joining one std::thread from two
+      // threads is undefined). Losers now wait for the winner to finish.
+      while (!stopped_) cv_.wait(mutex_);
+      return;
+    }
+    stop_claimed_ = true;
     stopping_ = true;
   }
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
   take_sample();  // final snapshot: short runs still get >= 1 sample
-  MutexLock lock(mutex_);
-  stopped_ = true;
+  {
+    MutexLock lock(mutex_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
 }
 
 void MetricsSampler::run() {

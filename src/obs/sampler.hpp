@@ -60,6 +60,9 @@ class MetricsSampler {
   mutable Mutex mutex_;
   CondVar cv_;
   bool stopping_ ATM_GUARDED_BY(mutex_) = false;
+  /// First stop() caller claims the join; later concurrent callers wait on
+  /// cv_ until stopped_ rather than racing thread_.join().
+  bool stop_claimed_ ATM_GUARDED_BY(mutex_) = false;
   bool stopped_ ATM_GUARDED_BY(mutex_) = false;
   std::vector<RegistrySnapshot> ring_ ATM_GUARDED_BY(mutex_);
   /// Index of oldest sample once wrapped.

@@ -245,6 +245,26 @@ TEST(Sampler, CollectsSeriesAndStops) {
   EXPECT_NE(csv.find("live.value"), std::string::npos);
 }
 
+TEST(Sampler, ConcurrentStopIsSafe) {
+  // Regression: two threads calling stop() concurrently could both pass
+  // the `if (stopped_) return` gate and race thread_.join() — joining one
+  // std::thread from two threads is undefined behavior. The first caller
+  // now claims the join; the rest block until it completes. Every caller
+  // must return with the sampler fully stopped and the final sample taken.
+  for (int round = 0; round < 20; ++round) {
+    MetricsRegistry reg;
+    reg.counter("c")->inc();
+    MetricsSampler sampler(reg, {.interval_ms = 1, .ring_capacity = 16});
+    std::vector<std::thread> stoppers;
+    for (int t = 0; t < 4; ++t) {
+      stoppers.emplace_back([&sampler] { sampler.stop(); });
+    }
+    for (auto& t : stoppers) t.join();
+    EXPECT_GE(sampler.series().samples.size(), 1u);
+    sampler.stop();  // idempotent after the fact
+  }
+}
+
 TEST(Sampler, RingBoundsMemoryAndCountsDrops) {
   MetricsRegistry reg;
   reg.gauge("g")->set(1);
