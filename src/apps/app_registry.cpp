@@ -28,7 +28,8 @@ rt::RuntimeConfig runtime_config(const RunConfig& config) {
           .metrics_interval_ms = config.metrics_interval_ms,
           .metrics_live = config.metrics_live,
           .profile_tasks = config.profile_tasks,
-          .profile_max_types = config.profile_max_types};
+          .profile_max_types = config.profile_max_types,
+          .numa_policy = config.numa};
 }
 
 std::unique_ptr<AtmEngine> make_engine(const RunConfig& config) {

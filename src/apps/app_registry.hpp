@@ -87,6 +87,11 @@ struct RunConfig {
   /// rt::RuntimeConfig::profile_max_types and AtmConfig::profile_max_types
   /// (`atm_run --profile-types=N`); types with id >= the cap run unprofiled.
   std::size_t profile_max_types = 256;
+
+  /// Best-effort NUMA placement for runtime slabs (`atm_run --numa`):
+  /// task-arena blocks and dependence-tracker shards. Silently a no-op on
+  /// single-node hosts; results are identical with any policy (PR 10).
+  NumaPolicy numa = NumaPolicy::Off;
 };
 
 /// Everything a run reports back to the harnesses.

@@ -1,0 +1,128 @@
+// Small-buffer-only callable for the task hot path (PR 10, carried from
+// PR 5): the submit path used to move a std::function<void()> into every
+// Task record, which costs a heap allocation the moment a closure outgrows
+// the libstdc++/libc++ SSO buffer (16-24 bytes — three captured pointers
+// already spill) plus a virtual-ish dispatch through the manager pointer.
+// Task bodies in this codebase are small capture packs (pointers + extents;
+// the largest app closure is 64 bytes), so InlineFunction stores the
+// callable inline, always: a closure that does not fit is a compile error
+// (static_assert), never a silent allocation. Dispatch is one function
+// pointer indirection through a per-type static ops table.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace atm {
+
+/// Fixed-capacity type-erased `void()` callable. Copyable (Task records are
+/// copyable by contract) and nullable like std::function, but storage is
+/// inline-only: construction from a callable larger than kCapacity (or
+/// over-aligned beyond kAlign) fails to compile.
+class InlineFunction {
+ public:
+  /// Inline storage. 88 bytes covers every closure in the repo (the largest
+  /// app task captures eight 8-byte values) with headroom, and keeps
+  /// sizeof(InlineFunction) at 96 — two cache lines of Task instead of a
+  /// pointer chase per invocation.
+  static constexpr std::size_t kCapacity = 88;
+  static constexpr std::size_t kAlign = 16;
+
+  constexpr InlineFunction() noexcept = default;
+  constexpr InlineFunction(std::nullptr_t) noexcept {}
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>,
+                  "InlineFunction requires a callable invocable as void()");
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "closure exceeds InlineFunction::kCapacity — shrink the "
+                  "capture pack (capture pointers, not containers)");
+    static_assert(alignof(Fn) <= kAlign,
+                  "closure over-aligned beyond InlineFunction::kAlign");
+    static_assert(std::is_copy_constructible_v<Fn>,
+                  "InlineFunction callables must be copyable (Task is)");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = &ops_for<Fn>;
+  }
+
+  InlineFunction(const InlineFunction& other) : ops_(other.ops_) {
+    if (ops_ != nullptr) ops_->copy(storage_, other.storage_);
+  }
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->move(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+  InlineFunction& operator=(const InlineFunction& other) {
+    if (this != &other) {
+      reset();
+      if (other.ops_ != nullptr) {
+        other.ops_->copy(storage_, other.storage_);
+        ops_ = other.ops_;
+      }
+    }
+    return *this;
+  }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      if (other.ops_ != nullptr) {
+        other.ops_->move(storage_, other.storage_);
+        ops_ = other.ops_;
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    void (*copy)(void* dst, const void* src);
+    /// Move-construct dst from src and destroy src.
+    void (*move)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr Ops ops_for = {
+      [](void* self) { (*static_cast<Fn*>(self))(); },
+      [](void* dst, const void* src) {
+        ::new (dst) Fn(*static_cast<const Fn*>(src));
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* self) noexcept { static_cast<Fn*>(self)->~Fn(); },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(kAlign) unsigned char storage_[kCapacity];
+};
+
+}  // namespace atm

@@ -1,0 +1,125 @@
+#include "common/numa.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace atm {
+
+namespace {
+
+constexpr std::size_t kPageSize = 4096;
+
+/// Count the CPUs in a sysfs cpulist ("0-3,8,10-11\n"); 0 on parse failure.
+unsigned count_cpulist(const char* path) {
+  std::FILE* f = std::fopen(path, "re");
+  if (f == nullptr) return 0;
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  unsigned cpus = 0;
+  const char* p = buf;
+  while (*p != '\0' && *p != '\n') {
+    char* end = nullptr;
+    const unsigned long lo = std::strtoul(p, &end, 10);
+    if (end == p) break;
+    p = end;
+    if (*p == '-') {
+      const unsigned long hi = std::strtoul(p + 1, &end, 10);
+      if (end == p + 1 || hi < lo) break;
+      cpus += static_cast<unsigned>(hi - lo + 1);
+      p = end;
+    } else {
+      cpus += 1;
+    }
+    if (*p == ',') ++p;
+  }
+  return cpus;
+}
+
+}  // namespace
+
+bool parse_numa_policy(std::string_view s, NumaPolicy* out) noexcept {
+  if (s == "off" || s == "none") {
+    *out = NumaPolicy::Off;
+  } else if (s == "first-touch" || s == "firsttouch" || s == "local") {
+    *out = NumaPolicy::FirstTouch;
+  } else if (s == "interleave" || s.empty()) {
+    // Bare --numa means interleave: shared slabs under work stealing are
+    // touched from every node, so spreading the pages is the safe default.
+    *out = NumaPolicy::Interleave;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+NumaTopology NumaTopology::detect(const std::string& sysfs_node_dir) {
+  NumaTopology topo;
+  // A missing/unreadable directory leaves ec set and the iterator empty:
+  // the single-node fallback (non-Linux hosts, sandboxes) costs nothing.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           sysfs_node_dir, std::filesystem::directory_options::skip_permission_denied, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 5 || name.compare(0, 4, "node") != 0) continue;
+    bool digits = true;
+    for (std::size_t i = 4; i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') { digits = false; break; }
+    }
+    if (!digits) continue;
+    const unsigned cpus = count_cpulist((entry.path() / "cpulist").c_str());
+    if (cpus == 0) continue;  // memory-only node: no placement benefit
+    topo.node_cpus.push_back(cpus);
+  }
+  if (!topo.node_cpus.empty()) {
+    topo.node_count = static_cast<unsigned>(topo.node_cpus.size());
+  }
+  return topo;
+}
+
+const NumaTopology& NumaTopology::system() {
+  static const NumaTopology topo = detect();
+  return topo;
+}
+
+void numa_place(void* ptr, std::size_t bytes, NumaPolicy policy,
+                const NumaTopology& topo) noexcept {
+  if (policy == NumaPolicy::Off || !topo.multi_node() || ptr == nullptr ||
+      bytes == 0) {
+    return;  // graceful degradation: single-node hosts pay nothing
+  }
+  if (policy == NumaPolicy::FirstTouch) {
+    // Pre-fault from the allocating thread so the kernel's first-touch
+    // policy commits the pages to this thread's node now, not to whichever
+    // thief touches a stolen task's record first.
+    volatile char* p = static_cast<char*>(ptr);
+    for (std::size_t off = 0; off < bytes; off += kPageSize) {
+      p[off] = p[off];  // read+write-back: idempotent on fresh allocations
+    }
+    return;
+  }
+#if defined(__linux__) && defined(SYS_mbind)
+  // Interleave the page-aligned interior across all nodes. Raw syscall: the
+  // container has no libnuma headers, and mbind is stable kernel ABI.
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  const std::uintptr_t lo = (addr + kPageSize - 1) & ~(kPageSize - 1);
+  const std::uintptr_t hi = (addr + bytes) & ~(kPageSize - 1);
+  if (hi <= lo) return;  // sub-page allocation: nothing to bind
+  constexpr int kMpolInterleave = 3;  // linux/mempolicy.h MPOL_INTERLEAVE
+  const unsigned nodes = topo.node_count < 64 ? topo.node_count : 64;
+  const unsigned long nodemask = nodes >= 64 ? ~0UL : (1UL << nodes) - 1;
+  // Best-effort: an EPERM/EINVAL (cpuset-restricted hosts, offline nodes)
+  // leaves the kernel-default placement in place, which is always correct.
+  (void)syscall(SYS_mbind, lo, hi - lo, kMpolInterleave, &nodemask,
+                sizeof(nodemask) * 8, 0);
+#endif
+}
+
+}  // namespace atm

@@ -1,0 +1,70 @@
+// Best-effort NUMA topology detection and memory placement (PR 10).
+//
+// The container toolchain ships no libnuma headers, so this layer talks to
+// the kernel directly: topology comes from sysfs
+// (/sys/devices/system/node/node*/cpulist — injectable root so tests can
+// mock a multi-node host), placement from the raw mbind(2) syscall for
+// interleaving plus allocating-thread pre-faulting for first-touch. Every
+// entry point degrades silently to a no-op on single-node hosts, non-Linux
+// builds, or kernels that reject the syscall: placement is a performance
+// hint, never a correctness dependency, and results are bit-identical with
+// the policy on or off.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atm {
+
+/// Slab/shard placement policy (RuntimeConfig::numa_policy, atm_run --numa).
+enum class NumaPolicy : std::uint8_t {
+  Off,         ///< kernel default (today's behavior)
+  FirstTouch,  ///< pre-fault pages from the allocating thread's node
+  Interleave,  ///< round-robin pages across all nodes (shared slabs under
+               ///< stealing: every node pays the same average distance)
+};
+
+[[nodiscard]] constexpr const char* numa_policy_name(NumaPolicy p) noexcept {
+  switch (p) {
+    case NumaPolicy::Off: return "off";
+    case NumaPolicy::FirstTouch: return "first-touch";
+    case NumaPolicy::Interleave: return "interleave";
+  }
+  return "?";
+}
+
+/// Parse a --numa value; returns false (and leaves *out alone) on junk.
+[[nodiscard]] bool parse_numa_policy(std::string_view s, NumaPolicy* out) noexcept;
+
+/// NUMA node layout, detected once from sysfs.
+struct NumaTopology {
+  /// Online nodes with at least one CPU; 1 on single-node or unknown hosts.
+  unsigned node_count = 1;
+  /// CPUs per detected node (empty when detection found nothing).
+  std::vector<unsigned> node_cpus;
+
+  [[nodiscard]] bool multi_node() const noexcept { return node_count > 1; }
+
+  /// Parse `sysfs_node_dir` (default: the real sysfs node directory) for
+  /// node<N>/cpulist entries. A missing/empty directory yields the
+  /// single-node fallback — the graceful-degradation path tests mock.
+  [[nodiscard]] static NumaTopology detect(
+      const std::string& sysfs_node_dir = "/sys/devices/system/node");
+
+  /// The host topology, detected once per process.
+  [[nodiscard]] static const NumaTopology& system();
+};
+
+/// Apply `policy` to the freshly-allocated range [ptr, ptr+bytes).
+/// Best-effort: no-op unless `topo` is multi-node and the kernel cooperates.
+/// Interleave binds the page-aligned interior via mbind(2); FirstTouch
+/// pre-faults every page from the calling thread so the kernel's default
+/// first-touch policy lands the pages on that thread's node deterministically
+/// (instead of wherever the first stealing toucher happens to run).
+void numa_place(void* ptr, std::size_t bytes, NumaPolicy policy,
+                const NumaTopology& topo) noexcept;
+
+}  // namespace atm

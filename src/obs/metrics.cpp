@@ -62,7 +62,10 @@ LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
     s.sum += shard.sum.load(std::memory_order_relaxed);
     s.max = std::max(s.max, shard.max.load(std::memory_order_relaxed));
   }
-  for (std::size_t i = 0; i < kBuckets; ++i) s.count += counts[i];
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.count += counts[i];
+    s.buckets[i] = counts[i];
+  }
   if (s.count > 0) {
     s.mean = static_cast<double>(s.sum) / static_cast<double>(s.count);
     s.p50 = bucket_quantile(counts, s.count, s.max, 0.50);
@@ -154,6 +157,22 @@ std::string RegistrySnapshot::to_json() const {
       json_append_number(out, m.hist.p95);
       out += ",\"p99\":";
       json_append_number(out, m.hist.p99);
+      // Full distribution as [bucket_lo, count] pairs, occupied buckets
+      // only: consumers rebuild the exact CDF instead of trusting the
+      // midpoint-interpolated quantiles above.
+      out += ",\"buckets\":[";
+      bool first = true;
+      for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+        if (m.hist.buckets[b] == 0) continue;
+        if (!first) out += ',';
+        first = false;
+        out += '[';
+        json_append_number(out, static_cast<double>(LatencyHistogram::bucket_lo(b)));
+        out += ',';
+        json_append_number(out, static_cast<double>(m.hist.buckets[b]));
+        out += ']';
+      }
+      out += ']';
     } else {
       out += ",\"value\":";
       json_append_number(out, m.value);

@@ -161,6 +161,11 @@ class LatencyHistogram {
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    /// Raw per-bucket counts (shards summed), so exporters can emit the
+    /// full distribution instead of point quantiles (PR 10: the sampler
+    /// series carries these as a CDF; empty tail buckets compress to
+    /// nothing in the JSON since only occupied buckets are written).
+    std::uint64_t buckets[kBuckets] = {};
   };
 
   [[nodiscard]] Snapshot snapshot() const;

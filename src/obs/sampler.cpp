@@ -7,11 +7,45 @@ namespace atm::obs {
 
 namespace {
 
-/// The value a sample flattens to in time-series output: counters/gauges
-/// report their value, histograms their p50 (the series is for watching
-/// trends, the full distribution lives in the final registry snapshot).
-double series_value(const MetricSample& m) noexcept {
-  return m.kind == MetricKind::Histogram ? m.hist.p50 : m.value;
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+/// Histogram series entry: summary stats plus the full per-bucket CDF as
+/// [bucket_lo, cumulative_count] pairs over occupied buckets. Until PR 10
+/// the series flattened histograms to a p50 scalar, which hid multi-modal
+/// shapes (e.g. steal batch sizes clustering at both 1 and kMaxSteal);
+/// consumers now get the whole distribution at every tick.
+void append_hist(std::string& out, const LatencyHistogram::Snapshot& h) {
+  out += "{\"count\":";
+  out += std::to_string(h.count);
+  out += ",\"max\":";
+  out += std::to_string(h.max);
+  out += ",\"mean\":";
+  append_double(out, h.mean);
+  out += ",\"p50\":";
+  append_double(out, h.p50);
+  out += ",\"p95\":";
+  append_double(out, h.p95);
+  out += ",\"p99\":";
+  append_double(out, h.p99);
+  out += ",\"cdf\":[";
+  std::uint64_t cumulative = 0;
+  bool first = true;
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    cumulative += h.buckets[b];
+    if (!first) out += ',';
+    first = false;
+    out += '[';
+    out += std::to_string(LatencyHistogram::bucket_lo(b));
+    out += ',';
+    out += std::to_string(cumulative);
+    out += ']';
+  }
+  out += "]}";
 }
 
 }  // namespace
@@ -34,9 +68,11 @@ std::string MetricsSampler::Series::to_json() const {
       if (k > 0) out += ',';
       json_append_string(out, m.name);
       out += ':';
-      char buf[40];
-      std::snprintf(buf, sizeof buf, "%.17g", series_value(m));
-      out += buf;
+      if (m.kind == MetricKind::Histogram) {
+        append_hist(out, m.hist);
+      } else {
+        append_double(out, m.value);
+      }
     }
     out += "}}";
   }

@@ -304,11 +304,18 @@ std::size_t DependencyTracker::prune_finished() noexcept {
 // --- ShardedDependencyTracker ----------------------------------------------
 
 ShardedDependencyTracker::ShardedDependencyTracker(unsigned log2_shards,
-                                                   unsigned region_shift)
+                                                   unsigned region_shift,
+                                                   NumaPolicy numa)
     : log2_shards_(log2_shards > 6 ? 6 : log2_shards),
       region_shift_(region_shift),
       shard_count_(std::size_t{1} << log2_shards_),
-      shards_(std::make_unique<Shard[]>(shard_count_)) {}
+      shards_(std::make_unique<Shard[]>(shard_count_)) {
+  // Every worker may submit against any shard under stealing, so spread the
+  // shard cachelines (and the trees they anchor) across nodes. Best effort:
+  // a no-op single-node or with the policy off (see common/numa.hpp).
+  numa_place(shards_.get(), shard_count_ * sizeof(Shard), numa,
+             NumaTopology::system());
+}
 
 std::uint64_t ShardedDependencyTracker::footprint_mask(const Task& task) const noexcept {
   std::uint64_t mask = 0;

@@ -43,6 +43,7 @@
 #include <memory_resource>
 #include <vector>
 
+#include "common/numa.hpp"
 #include "common/thread_safety.hpp"
 #include "runtime/task.hpp"
 #include "runtime/task_arena.hpp"
@@ -203,11 +204,17 @@ class DependencyTracker {
 /// machinery entirely and locks its one shard directly.
 class ShardedDependencyTracker {
  public:
-  /// Up to 64 shards (the footprint set is a 64-bit mask). The default
-  /// granule (2 MiB) keeps typical app block accesses in one shard while
-  /// spreading distinct buffers across the pool.
+  /// Default granule size exponent: 2 MiB granules keep typical app block
+  /// accesses in one shard while spreading distinct buffers across the pool.
+  static constexpr unsigned kDefaultRegionShift = 21;
+
+  /// Up to 64 shards (the footprint set is a 64-bit mask). `numa` applies
+  /// best-effort placement to the shard array: under stealing any worker may
+  /// submit against any shard, so interleaving spreads the lock/tree traffic
+  /// evenly across nodes (no-op on single-node hosts).
   explicit ShardedDependencyTracker(unsigned log2_shards = 4,
-                                    unsigned region_shift = 21);
+                                    unsigned region_shift = kDefaultRegionShift,
+                                    NumaPolicy numa = NumaPolicy::Off);
 
   /// Register `task`, then call `visit(dep)` for every distinct predecessor
   /// while the footprint's shard locks are still held (the locks pin the

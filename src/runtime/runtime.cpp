@@ -28,9 +28,10 @@ Runtime::Runtime(RuntimeConfig config)
       help_taskwait_(config.help_taskwait),
       profile_tasks_(config.profile_tasks),
       tracer_(std::make_unique<TraceRecorder>(num_threads_ + 1, config.enable_tracing)),
-      sched_(Scheduler::make(config.sched, num_threads_, tracer_.get())),
-      arena_(config.arena_block_tasks),
-      tracker_(config.graph_log2_shards),
+      sched_(Scheduler::make(config.sched, num_threads_, tracer_.get(), &metrics_)),
+      arena_(config.arena_block_tasks, config.numa_policy),
+      tracker_(config.graph_log2_shards, ShardedDependencyTracker::kDefaultRegionShift,
+               config.numa_policy),
       profile_max_types_(config.profile_max_types),
       exec_hist_(std::make_unique<std::atomic<obs::LatencyHistogram*>[]>(
           config.profile_max_types)) {
@@ -147,7 +148,7 @@ std::size_t Runtime::current_lane() const noexcept {
   return tls_lane >= 0 ? static_cast<std::size_t>(tls_lane) : tracer_->master_lane();
 }
 
-void Runtime::submit(const TaskType* type, std::function<void()> fn,
+void Runtime::submit(const TaskType* type, InlineFunction fn,
                      std::span<const DataAccess> accesses) {
   assert(type != nullptr);
   Task* task = arena_.acquire();

@@ -23,7 +23,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <initializer_list>
 #include <memory>
 #include <span>
@@ -31,6 +30,7 @@
 #include <vector>
 
 #include "common/mutex.hpp"
+#include "common/numa.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "runtime/dependency_tracker.hpp"
@@ -118,6 +118,11 @@ struct RuntimeConfig {
   /// attached engine's hit/miss/latency profiles). One atomic pointer per
   /// slot, sized at construction (`atm_run --profile-types=N`).
   std::size_t profile_max_types = 256;
+  /// Best-effort NUMA placement of task-arena slabs and dependence-tracker
+  /// shards (`atm_run --numa`). Off by default; silently a no-op on
+  /// single-node hosts — results are bit-identical either way, only page
+  /// placement (and thus steal-path memory locality) changes.
+  NumaPolicy numa_policy = NumaPolicy::Off;
 };
 
 /// Monotonic counters; cheap enough to keep always-on.
@@ -145,17 +150,20 @@ class Runtime {
 
   /// Submit one task: `fn` must be a pure function of the declared input
   /// regions writing only the declared output regions (paper §III-E).
-  /// The span/initializer_list overloads copy the accesses into the pooled
-  /// task's recycled vector — the no-allocation fast path a brace-enclosed
-  /// access list takes automatically.
-  void submit(const TaskType* type, std::function<void()> fn,
+  /// `fn` is an InlineFunction: the closure is stored inline in the pooled
+  /// task record (no per-submit allocation); closures larger than
+  /// InlineFunction::kCapacity fail to compile. The span/initializer_list
+  /// overloads copy the accesses into the pooled task's recycled vector —
+  /// the no-allocation fast path a brace-enclosed access list takes
+  /// automatically.
+  void submit(const TaskType* type, InlineFunction fn,
               std::span<const DataAccess> accesses);
-  void submit(const TaskType* type, std::function<void()> fn,
+  void submit(const TaskType* type, InlineFunction fn,
               std::initializer_list<DataAccess> accesses) {
     submit(type, std::move(fn), std::span<const DataAccess>(accesses.begin(),
                                                             accesses.size()));
   }
-  void submit(const TaskType* type, std::function<void()> fn,
+  void submit(const TaskType* type, InlineFunction fn,
               const std::vector<DataAccess>& accesses) {
     submit(type, std::move(fn),
            std::span<const DataAccess>(accesses.data(), accesses.size()));

@@ -1,6 +1,7 @@
 #include "runtime/scheduler.hpp"
 
 #include <thread>
+#include <utility>
 
 #include "common/timing.hpp"
 
@@ -20,24 +21,51 @@ constexpr int kHelperSpinRounds = 8;
 }  // namespace
 
 std::unique_ptr<Scheduler> Scheduler::make(SchedPolicy policy, unsigned workers,
-                                           TraceRecorder* tracer) {
+                                           TraceRecorder* tracer,
+                                           obs::MetricsRegistry* metrics) {
   switch (policy) {
     case SchedPolicy::Central: return std::make_unique<CentralScheduler>(tracer);
-    case SchedPolicy::Steal: return std::make_unique<StealScheduler>(workers, tracer);
+    case SchedPolicy::Steal:
+      return std::make_unique<StealScheduler>(workers, tracer, metrics);
   }
   return std::make_unique<CentralScheduler>(tracer);
 }
 
-StealScheduler::StealScheduler(unsigned workers, TraceRecorder* tracer)
+namespace {
+/// Ring distance between two lane ids on a `total`-lane ring (>= 1 for
+/// distinct lanes); the victim-distance histogram's sample value.
+[[nodiscard]] unsigned ring_distance(unsigned a, unsigned b, unsigned total) noexcept {
+  const unsigned d = a > b ? a - b : b - a;
+  return d < total - d ? d : total - d;
+}
+}  // namespace
+
+StealScheduler::StealScheduler(unsigned workers, TraceRecorder* tracer,
+                               obs::MetricsRegistry* metrics)
     : workers_(workers > 0 ? workers : 1),
       inbox_mask_((workers_ & (workers_ - 1)) == 0 ? workers_ - 1 : 0),
       tracer_(tracer) {
-  slots_.reserve(lane_count());
-  for (unsigned w = 0; w < lane_count(); ++w) {
+  const unsigned total = lane_count();
+  slots_.reserve(total);
+  for (unsigned w = 0; w < total; ++w) {
     auto slot = std::make_unique<WorkerSlot>();
-    // Stagger the steal sweep so idle lanes do not all mob victim 0.
-    slot->victim_cursor = (w + 1) % lane_count();
+    // Locality-ordered victim ring: nearest lane ids first, widening
+    // outward, probe direction alternating by lane parity. Every lane gets
+    // a distinct order (its own ring) so idle thieves fan out across the
+    // pool instead of mobbing one victim.
+    slot->victim_order.reserve(total - 1);
+    for (unsigned d = 1; d <= total / 2; ++d) {
+      unsigned first = (w + d) % total;
+      unsigned second = (w + total - d) % total;
+      if ((w & 1U) != 0) std::swap(first, second);
+      slot->victim_order.push_back(first);
+      if (second != first) slot->victim_order.push_back(second);
+    }
     slots_.push_back(std::move(slot));
+  }
+  if (metrics != nullptr) {
+    steal_batch_hist_ = metrics->histogram("sched.steal_batch_size", "tasks", "sched");
+    victim_distance_hist_ = metrics->histogram("sched.victim_distance", "lanes", "sched");
   }
 }
 
@@ -168,6 +196,33 @@ Task* StealScheduler::adopt_chain(WorkerSlot& me, Task* chain, std::size_t n,
   return task;
 }
 
+Task* StealScheduler::adopt_batch(WorkerSlot& me, Task* const* tasks,
+                                  std::size_t n) {
+  // Install a steal_many() batch as `me`'s private FIFO — the same shape
+  // inbox adoption produces: tasks[0] is consumed now, tasks[1..n) chain
+  // through inbox_next in age order (oldest first, preserving the FIFO
+  // steal discipline). The winning top-CAS made the batch exclusively ours,
+  // so the links are plain owner-private writes; one bulk items_ decrement
+  // accounts the whole batch and batch_size keeps it visible to starvation
+  // detection, exactly like adopt_chain.
+  for (std::size_t i = 1; i < n; ++i) {
+    // mo: relaxed — exclusively-owned chain build.
+    tasks[i]->inbox_next.store(i + 1 < n ? tasks[i + 1] : nullptr,
+                               std::memory_order_relaxed);
+  }
+  me.batch_head = n > 1 ? tasks[1] : nullptr;
+  // mo: relaxed — the consumed task leaves every chain now.
+  tasks[0]->inbox_next.store(nullptr, std::memory_order_relaxed);
+  me.batch_size.store(static_cast<std::uint32_t>(n) - 1);
+  // mo: relaxed — bulk gauge decrement; see acquired() for the bound.
+  items_.fetch_sub(n, std::memory_order_relaxed);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // mo: relaxed — depth sample is monitoring only.
+    tracer_->sample_depth(now_ns(), items_.load(std::memory_order_relaxed));
+  }
+  return tasks[0];
+}
+
 Task* StealScheduler::acquire_local(unsigned lane) {
   WorkerSlot& slot = *slots_[lane];
   if (slot.batch_head != nullptr) {
@@ -217,20 +272,31 @@ Task* StealScheduler::acquire_local(unsigned lane) {
 
 Task* StealScheduler::acquire_steal(unsigned lane) {
   WorkerSlot& me = *slots_[lane];
-  // One full sweep over the other lanes (workers + the helper slot)
-  // starting at the rotating cursor: deque top first (the victim's oldest
-  // task — the classic FIFO steal), then the victim's inbox so a
+  // One full sweep over the other lanes (workers + the helper slot) in this
+  // lane's locality ring order, starting at the last productive victim:
+  // deque top first (steal-half — up to half the victim's backlog in one
+  // CAS, bounded by the adaptive batch cap), then the victim's inbox so a
   // long-running victim cannot strand external submissions behind its back.
-  const unsigned total = lane_count();
   bool hoarded = false;
   me.steal_attempts.store(me.steal_attempts.load() + 1);
-  unsigned v = me.victim_cursor < total ? me.victim_cursor : 0;
-  for (unsigned i = 0; i < total; ++i, v = v + 1 == total ? 0 : v + 1) {
-    if (v == lane) continue;  // every other lane is probed exactly once
+  // mo: relaxed — the cap is a heuristic; any recent value serves.
+  const auto cap = static_cast<std::size_t>(batch_cap_.load(std::memory_order_relaxed));
+  Task* batch[WorkStealDeque::kMaxSteal];
+  const auto order_n = static_cast<std::uint32_t>(me.victim_order.size());
+  const std::uint32_t start = me.victim_cursor < order_n ? me.victim_cursor : 0;
+  for (std::uint32_t i = 0; i < order_n; ++i) {
+    const std::uint32_t idx = start + i < order_n ? start + i : start + i - order_n;
+    const std::uint32_t v = me.victim_order[idx];
     WorkerSlot& victim = *slots_[v];
-    if (Task* task = victim.deque.steal()) {
-      me.victim_cursor = v;  // keep milking a productive victim
-      return acquired(task);
+    if (const std::size_t got = victim.deque.steal_many(batch, cap)) {
+      me.victim_cursor = idx;  // keep milking a productive victim
+      me.backoff_skip = 0;
+      me.backoff_width = 0;
+      if (steal_batch_hist_ != nullptr) steal_batch_hist_->record(got);
+      if (victim_distance_hist_ != nullptr) {
+        victim_distance_hist_->record(ring_distance(lane, v, lane_count()));
+      }
+      return adopt_batch(me, batch, got);
     }
     // Adopt the victim's stranded inbox as our own batch (+ deque spill):
     // redistributes a whole burst in one exchange, and the adopted tasks
@@ -238,15 +304,19 @@ Task* StealScheduler::acquire_steal(unsigned lane) {
     // this is the helper's main acquisition path during a wave drain.
     std::size_t n = 0;
     if (Task* chain = take_inbox_chain(victim, &n)) {
-      me.victim_cursor = v;
+      me.victim_cursor = idx;
+      me.backoff_skip = 0;
+      me.backoff_width = 0;
+      if (victim_distance_hist_ != nullptr) {
+        victim_distance_hist_->record(ring_distance(lane, v, lane_count()));
+      }
       me.inbox_drains.store(me.inbox_drains.load() + 1);
       me.inbox_drained_tasks.store(me.inbox_drained_tasks.load() + n);
-      // mo: relaxed — the cap is a heuristic; any recent value serves.
-      return adopt_chain(me, chain, n, batch_cap_.load(std::memory_order_relaxed));
+      return adopt_chain(me, chain, n, static_cast<std::uint32_t>(cap));
     }
     if (victim.batch_size.load() > 0) hoarded = true;
   }
-  me.victim_cursor = me.victim_cursor + 1 >= total ? 0 : me.victim_cursor + 1;
+  me.victim_cursor = 0;  // full miss: restart at the nearest ring next time
   // Full miss. Remember whether work existed — queued (items_) or hoarded
   // in an owner's private batch; the miss is only COUNTED (and the batch
   // cap halved) if this lane ends up parking with the flag set: a sweep
@@ -257,6 +327,15 @@ Task* StealScheduler::acquire_steal(unsigned lane) {
   // before actually sleeping.
   me.missed_with_work = hoarded || items_.load(std::memory_order_relaxed) > 0;
   me.steal_fails.store(me.steal_fails.load() + 1);
+  // Exponential steal backoff: consecutive full misses double the number of
+  // sweeps this lane sits out (local acquires are never skipped), capped so
+  // the lane keeps re-probing. Any successful acquire resets it.
+  me.backoff_width = me.backoff_width == 0
+                         ? 1
+                         : (me.backoff_width * 2 < kBackoffMaxSkips
+                                ? me.backoff_width * 2
+                                : kBackoffMaxSkips);
+  me.backoff_skip = me.backoff_width;
   return nullptr;
 }
 
@@ -289,7 +368,21 @@ void StealScheduler::note_starved(unsigned lane) {
 }
 
 Task* StealScheduler::try_pop(unsigned lane) {
-  if (Task* task = acquire_local(lane)) return task;
+  WorkerSlot& me = *slots_[lane];
+  if (Task* task = acquire_local(lane)) {
+    // Work arrived locally: stop sitting out steal sweeps.
+    me.backoff_skip = 0;
+    me.backoff_width = 0;
+    return task;
+  }
+  if (me.backoff_skip > 0) {
+    // Steal backoff: sit this sweep out (the caller yields between rounds),
+    // so an idle lane stops hammering every victim's top cacheline. The
+    // budget is finite and local work was just checked, so no task is ever
+    // stranded behind the skip.
+    --me.backoff_skip;
+    return nullptr;
+  }
   return acquire_steal(lane);
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/mutex.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/ready_queue.hpp"
 #include "runtime/task.hpp"
 #include "runtime/trace.hpp"
@@ -103,10 +104,12 @@ class Scheduler {
   [[nodiscard]] virtual SchedulerStats stats() const noexcept = 0;
 
   /// Factory for a policy. `workers` is the worker-thread count; `tracer`
-  /// (nullable) receives ready-depth samples when tracing is enabled.
-  [[nodiscard]] static std::unique_ptr<Scheduler> make(SchedPolicy policy,
-                                                       unsigned workers,
-                                                       TraceRecorder* tracer);
+  /// (nullable) receives ready-depth samples when tracing is enabled;
+  /// `metrics` (nullable) receives the steal histograms
+  /// (sched.steal_batch_size, sched.victim_distance).
+  [[nodiscard]] static std::unique_ptr<Scheduler> make(
+      SchedPolicy policy, unsigned workers, TraceRecorder* tracer,
+      obs::MetricsRegistry* metrics = nullptr);
 };
 
 /// The paper's central RQ wrapped in the Scheduler seam.
@@ -161,9 +164,22 @@ class CentralScheduler final : public Scheduler {
 ///   2. own inbox, drained wholesale into a private batch + deque spill (a
 ///      burst of master submissions costs one exchange here, not one
 ///      acquire per task),
-///   3. steal: sweep the other lanes, first their deque tops (FIFO), then
-///      their inboxes — drained into the thief's own deque, so a victim
-///      stuck in a long task cannot strand external submissions.
+///   3. steal: sweep the other lanes in the lane's locality ring order,
+///      first their deque tops (steal-half: up to half the victim's deque
+///      in one CAS, installed as the thief's private batch), then their
+///      inboxes — adopted the same way, so a victim stuck in a long task
+///      cannot strand external submissions.
+///
+/// Victim selection walks a per-lane precomputed ring order — nearest lane
+/// ids first, then widening rings, direction alternating by lane parity —
+/// so thieves prefer neighbors (same core complex / NUMA node under any
+/// sane thread layout) and never herd onto lane 0 the way a flat sweep
+/// seeded at zero does. A productive victim is remembered (the next sweep
+/// starts there); a full miss resets to the nearest ring AND bumps the
+/// lane's exponential steal backoff — the next backoff_skip try_pop calls
+/// skip the sweep entirely, so at high worker counts idle lanes stop
+/// hammering every deque's top cacheline while one producer works.
+/// Backoff resets the moment any acquire succeeds.
 ///
 /// The private batch is capped adaptively (kBatchMin..kBatchMax): it grows
 /// while no thief has starved recently (fewer deque fences per task) and
@@ -179,7 +195,8 @@ class CentralScheduler final : public Scheduler {
 /// parks on the same lot with an extra quit predicate.
 class StealScheduler final : public Scheduler {
  public:
-  StealScheduler(unsigned workers, TraceRecorder* tracer);
+  StealScheduler(unsigned workers, TraceRecorder* tracer,
+                 obs::MetricsRegistry* metrics = nullptr);
   ~StealScheduler() override = default;
 
   void push(Task* task, std::size_t lane) override;
@@ -198,6 +215,12 @@ class StealScheduler final : public Scheduler {
   /// Adaptive batch-cap bounds (exposed for tests/benches).
   static constexpr std::uint32_t kBatchMin = 64;
   static constexpr std::uint32_t kBatchMax = 512;
+  /// Steal-backoff ceiling: after this many consecutive full-miss sweeps'
+  /// worth of doubling, a lane skips at most this many sweeps per miss.
+  /// Bounded so a lane re-probes within tens of microseconds — liveness
+  /// additionally holds because local work is never skipped and pushers
+  /// wake parked lanes through the lot.
+  static constexpr std::uint32_t kBackoffMaxSkips = 32;
 
  private:
   struct alignas(64) WorkerSlot {
@@ -221,7 +244,18 @@ class StealScheduler final : public Scheduler {
     /// Set by a full steal sweep that missed while work existed (queued or
     /// batch-hoarded); consumed by note_starved when the lane parks.
     bool missed_with_work = false;
-    std::uint32_t victim_cursor = 0;  ///< lane-local steal start point
+    /// Index into victim_order where the next sweep starts: the position of
+    /// the last productive victim (keep milking it), reset to 0 (nearest
+    /// ring) on a full miss.
+    std::uint32_t victim_cursor = 0;
+    /// Locality-ordered victim lanes: nearest ring distance first, widening
+    /// outward, probe direction alternating by lane parity (the per-lane
+    /// seed that stops thieves herding). Built once at construction.
+    std::vector<std::uint32_t> victim_order;
+    /// Exponential steal backoff (owner-private): current skip budget and
+    /// the doubling width it refills from on each consecutive full miss.
+    std::uint32_t backoff_skip = 0;
+    std::uint32_t backoff_width = 0;
     /// Observability counters, written only by the lane that owns this slot
     /// (the thief/drainer writes its OWN slot, never the victim's), racily
     /// summed by stats(). Same cache line the owner already dirties.
@@ -239,6 +273,9 @@ class StealScheduler final : public Scheduler {
   /// Install a drained chain as `me`'s private batch (first `cap` tasks) +
   /// deque spill, account it, and return the first task.
   Task* adopt_chain(WorkerSlot& me, Task* chain, std::size_t n, std::uint32_t cap);
+  /// Install a steal_many() batch (age order, exclusively owned) as `me`'s
+  /// private batch, account it, and return the first task.
+  Task* adopt_batch(WorkerSlot& me, Task* const* tasks, std::size_t n);
   [[nodiscard]] Task* acquire_local(unsigned lane);
   [[nodiscard]] Task* acquire_steal(unsigned lane);
   /// Called when `lane` is about to park: if its last sweep missed while
@@ -273,6 +310,11 @@ class StealScheduler final : public Scheduler {
   CondVar park_cv_;
 
   TraceRecorder* tracer_;
+  /// Steal observability (nullable; owned by the registry). Recording is
+  /// one relaxed increment on a thread-owned shard, and only on successful
+  /// steals — amortized over the whole stolen batch.
+  obs::LatencyHistogram* steal_batch_hist_ = nullptr;
+  obs::LatencyHistogram* victim_distance_hist_ = nullptr;
 };
 
 }  // namespace atm::rt

@@ -13,10 +13,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/inline_function.hpp"
 #include "common/spin_lock.hpp"
 #include "runtime/data_access.hpp"
 #include "runtime/task_type.hpp"
@@ -104,7 +104,10 @@ using TaskSpinLock = atm::SpinLock;
 struct Task {
   TaskId id = 0;
   const TaskType* type = nullptr;
-  std::function<void()> fn;
+  /// The task body. Inline-only small-buffer callable (PR 10): no heap
+  /// allocation per submit, one indirect call to invoke; closures larger
+  /// than InlineFunction::kCapacity are a compile error.
+  InlineFunction fn;
   std::vector<DataAccess> accesses;
 
   // --- dependence graph state ---

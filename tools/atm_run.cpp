@@ -57,6 +57,10 @@
 //   --profile-types=N      cap on distinct task-type ids carrying per-type
 //                          profiles; types with id >= N run unprofiled
 //                          (default: 256)
+//   --numa[=P]             off | first-touch | interleave: best-effort NUMA
+//                          placement of task-arena slabs and dependence-
+//                          tracker shards (bare --numa = interleave; always
+//                          a silent no-op on single-node hosts)
 //   --baseline             also run mode=off and report speedup/correctness
 #include <cstdio>
 #include <cstring>
@@ -163,7 +167,7 @@ int usage(const char* argv0) {
                "          [--trace] [--trace-json=FILE] [--stats] [--stats-json=FILE]\n"
                "          [--metrics-json=FILE] [--metrics-csv=FILE]\n"
                "          [--stats-interval=MS] [--profile] [--profile-types=N]\n"
-               "          [--baseline]\n",
+               "          [--numa[=off|first-touch|interleave]] [--baseline]\n",
                argv0);
   return 2;
 }
@@ -247,6 +251,10 @@ bool parse(int argc, char** argv, Options* opts) {
           static_cast<unsigned>(std::strtoul(value, nullptr, 10));
     } else if (parse_flag(arg, "--noise", &value)) {
       opts->config.input_noise = std::strtod(value, nullptr);
+    } else if (parse_flag(arg, "--numa", &value)) {
+      // Bare --numa selects interleave (parse_numa_policy's empty-string
+      // default); unknown policies are a usage error.
+      if (!parse_numa_policy(value, &opts->config.numa)) return false;
     } else if (parse_flag(arg, "--trace-json", &value)) {
       opts->trace_json = value;
       opts->config.tracing = true;

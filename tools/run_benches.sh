@@ -7,16 +7,18 @@
 #           quick           non-timing smoke: ATM_SCALE=test, ATM_REPS=1,
 #                           and only the fast inspection/correctness set —
 #                           validates that the harnesses run, not timings
-#           json            machine-readable results: runs pr7_observability
-#                           and writes BENCH_pr7.json (or [json-out]) — bench
-#                           name -> ns/op plus the metrics-on/off storm
-#                           ratios. Storm bench names match
-#                           BENCH_pr6/pr5/pr4/pr3.json, so the checked-in
-#                           files A/B directly across PRs; earlier
-#                           BENCH_prN.json files are never overwritten
-#                           (append-only history). Also archives an atm_run
-#                           metrics-registry snapshot next to the bench json
-#                           (<out>.stats.json) when atm_run is built.
+#           json            machine-readable results: runs pr10_scale and
+#                           writes BENCH_pr10.json (or [json-out]) — bench
+#                           name -> ns/op for the continuity storms plus the
+#                           oversubscribed/NUMA configs and steal-histogram
+#                           stats. Storm bench names match
+#                           BENCH_pr7/pr6/pr5/pr4/pr3.json, so the
+#                           checked-in files A/B directly across PRs;
+#                           earlier BENCH_prN.json files are never
+#                           overwritten (append-only history). Also archives
+#                           an atm_run metrics-registry snapshot next to the
+#                           bench json (<out>.stats.json) when atm_run is
+#                           built.
 #
 # Benches run argument-less; scale comes from the environment:
 #   ATM_SCALE    problem-size preset multiplier   (default: harness-defined;
@@ -41,7 +43,7 @@ case "$PRESET" in
              fig3_speedup fig4_correctness fig5_p_sensitivity fig6_scalability \
              fig7_trace_gs fig8_trace_blackscholes fig9_reuse_cdf \
              ablation_sizing pr3_hotpath pr4_hotpath pr5_hotpath pr6_tolerance \
-             pr7_observability micro_atm"
+             pr7_observability pr10_scale micro_atm"
     ;;
   quick)
     # The timing-heavy sweeps (fig5/fig6/ablation run 16+ full configs) are
@@ -53,8 +55,8 @@ case "$PRESET" in
     export ATM_SCALE ATM_REPS
     ;;
   json)
-    OUT="${3:-BENCH_pr7.json}"
-    bin="$BUILD_DIR/pr7_observability"
+    OUT="${3:-BENCH_pr10.json}"
+    bin="$BUILD_DIR/pr10_scale"
     if [ ! -x "$bin" ]; then
       echo "error: $bin not built (cmake --build $BUILD_DIR --target bench)" >&2
       exit 1
